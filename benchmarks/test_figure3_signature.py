@@ -1,0 +1,41 @@
+"""Figure 3: the LogP signature with g dialed to 14 µs.
+
+The paper's annotated plot shows: send overhead ~1.8 µs at short
+bursts, a steady-state interval ~12.8 µs (the dialed gap, read slightly
+low), the Δ=10 curve levelling at o_send + o_recv + Δ ≈ 15.8 µs, and a
+21 µs round trip.
+"""
+
+from benchmarks.conftest import run_once
+from repro.calibrate import round_trip_time
+from repro.am.tuning import TuningKnobs
+from repro.harness.experiments import figure3_signature
+
+
+def test_figure3(benchmark):
+    signature = run_once(benchmark, lambda: figure3_signature(14.0))
+    print()
+    print(signature.render())
+
+    # Short bursts expose the send overhead (paper: Osend = 1.8 us).
+    assert abs(signature.send_overhead() - 1.8) < 0.2
+
+    # Long Δ=0 bursts approach the dialed gap (paper reads 12.8 for a
+    # desired 14 — finite bursts under-read).
+    steady = signature.steady_state(0.0)
+    assert 11.0 < steady <= 14.2
+
+    # With Δ=10 the processor is the bottleneck:
+    # o_send + o_recv + Δ = 1.8 + 4.0 + 10 = 15.8 us.
+    busy = signature.steady_state(10.0)
+    assert abs(busy - 15.8) < 0.8
+
+    # Curves rise monotonically from overhead toward steady state.
+    series = signature.intervals[0.0]
+    bursts = sorted(series)
+    values = [series[m] for m in bursts]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    # Round trip ~21 us (the figure's annotation).
+    rtt = round_trip_time(knobs=TuningKnobs.added_gap(14.0 - 5.8))
+    assert abs(rtt - 21.6) < 1.0

@@ -1,0 +1,75 @@
+"""Figure 4: communication-balance matrices for all ten applications.
+
+Shape assertions per the paper's plates:
+(a) Radix — a dark ring line off the diagonal (the pipelined cyclic
+    shift of the histogram) over a balanced grey background;
+(b/c) EM3D — traffic concentrated in a swath near the diagonal;
+(d) Sample — unbalanced columns (different receivers get different
+    loads);
+(f) P-Ray — hot columns (hot objects);
+(i) NOW-sort — a nearly solid, balanced all-to-all square.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, LARGE_NODES, run_once
+from repro.harness.experiments import figure4_balance
+
+
+def test_figure4(benchmark):
+    figure = run_once(benchmark, lambda: figure4_balance(
+        n_nodes=LARGE_NODES, scale=BENCH_SCALE))
+    print()
+    for name in ("Radix", "NOW-sort"):
+        print(figure.results[name].render_balance())
+        print()
+    matrices = figure.matrices()
+    n = LARGE_NODES
+
+    assert len(matrices) == 10
+    for name, matrix in matrices.items():
+        assert matrix.shape == (n, n)
+        assert np.all(np.diag(matrix) == 0), f"{name}: self-messages"
+
+    # (a) Radix: the ring next-neighbour line (cyclic shift) is darker
+    # than the all-to-all background — uniformly so, which is what makes
+    # it visible as a line in the greyscale plot.  (At the paper's 16M
+    # keys the contrast is stronger; the scaled input keeps the same
+    # structure at lower contrast.)
+    radix = matrices["Radix"]
+    ring = np.array([radix[i, (i + 1) % n] for i in range(n)])
+    off_ring = radix.copy()
+    for i in range(n):
+        off_ring[i, (i + 1) % n] = 0
+        off_ring[i, i] = 0
+    background = off_ring.sum() / (n * (n - 2))
+    assert ring.mean() > 1.3 * background
+    assert ring.min() > background
+
+    # (b) EM3D(write): locality — the near-diagonal swath (ring
+    # distance <= 2) is far denser than the rest of the matrix (which
+    # carries only barrier/collective traffic).
+    em3d = matrices["EM3D(write)"]
+    near_cells = [(i, j) for i in range(n) for j in range(n)
+                  if 0 < min((i - j) % n, (j - i) % n) <= 2]
+    far_cells = [(i, j) for i in range(n) for j in range(n)
+                 if min((i - j) % n, (j - i) % n) > 2]
+    near_mean = np.mean([em3d[c] for c in near_cells])
+    far_mean = np.mean([em3d[c] for c in far_cells])
+    assert near_mean > 3.0 * far_mean
+
+    # (d) Sample: receiver imbalance — column sums vary.
+    sample_cols = matrices["Sample"].sum(axis=0)
+    assert sample_cols.max() > 1.3 * sample_cols.min()
+
+    # (f) P-Ray: hot columns.
+    pray_cols = matrices["P-Ray"].sum(axis=0)
+    assert pray_cols.max() > 1.3 * pray_cols.mean()
+
+    # (i) NOW-sort: balanced all-to-all — every pair communicates, and
+    # the per-pair message counts are roughly uniform (low dispersion;
+    # at reduced input the counts are small, so some noise remains).
+    nowsort = matrices["NOW-sort"]
+    off_diag = nowsort[~np.eye(n, dtype=bool)]
+    assert np.all(off_diag > 0)
+    assert off_diag.std() / off_diag.mean() < 0.75

@@ -1,0 +1,91 @@
+"""Figure 5: sensitivity to overhead on 16 and 32 nodes.
+
+Paper shape: the four most frequently communicating applications
+(Radix, EM3D write/read, Sample) show the strongest, essentially linear
+slowdown — up to tens of times at o ≈ 103 µs on 32 nodes; lightly
+communicating apps (NOW-sort, Radb, Connect) only slow by small
+factors.  Radix is *more* sensitive on 32 nodes than on 16 (the
+serialization effect of its histogram phase); the other apps are about
+equally sensitive at both sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, LARGE_NODES, SMALL_NODES, \
+    run_once
+from repro.harness.experiments import figure5_overhead
+
+OVERHEADS = (2.9, 12.9, 52.9, 102.9)
+
+
+@pytest.fixture(scope="module")
+def figures():
+    return {
+        SMALL_NODES: figure5_overhead(n_nodes=SMALL_NODES,
+                                      scale=BENCH_SCALE,
+                                      overheads=OVERHEADS),
+        LARGE_NODES: figure5_overhead(n_nodes=LARGE_NODES,
+                                      scale=BENCH_SCALE,
+                                      overheads=OVERHEADS),
+    }
+
+
+def test_figure5(benchmark, figures):
+    figs = run_once(benchmark, lambda: figures)
+    fig16, fig32 = figs[SMALL_NODES], figs[LARGE_NODES]
+    print()
+    print(fig32.render())
+
+    max32 = {name: fig32.max_slowdown(name) for name in fig32.sweeps}
+
+    # Heavy communicators slow down by large factors at o = 103.
+    for chatty in ("Radix", "EM3D(write)", "EM3D(read)", "Sample"):
+        assert max32[chatty] > 10.0, f"{chatty}: {max32[chatty]}"
+    # Light communicators shrug (NOW-sort ~1.25x in the paper; the
+    # paper notes even lightly communicating apps suffer 3-5x).  Radb's
+    # histogram serialization weighs more at reduced key counts, so its
+    # bound is looser, but it must stay far below per-key Radix.
+    assert max32["NOW-sort"] < 2.5
+    assert max32["Radb"] < 10.0
+    assert max32["Radix"] > 3.0 * max32["Radb"]
+    assert max32["Connect"] < 8.0
+    # The frequent communicators are the most sensitive overall.
+    chattiest = max(max32, key=max32.get)
+    assert chattiest in ("Radix", "EM3D(write)", "EM3D(read)", "Sample")
+
+    # Linearity: for Radix, successive slopes stay within ~35%.
+    series = fig32.sweeps["Radix"].series()
+    slopes = [(y2 - y1) / (x2 - x1)
+              for (x1, y1), (x2, y2) in zip(series, series[1:])]
+    assert max(slopes) < 1.5 * min(slopes)
+
+    # Serialization effect: the paper quantifies it as the 2·m·Δo
+    # model under-predicting Radix, increasingly so as P grows (the
+    # histogram phase's serial length is ∝ radix × P, invisible to the
+    # busiest-processor model).  At our reduced key counts the absolute
+    # slowdown ratio does not flip (the distribution term shrinks with
+    # keys/proc faster than the paper's), but the model residual must
+    # grow with P.
+    from repro.models import OverheadModel
+
+    def model_residual(figure):
+        sweep = figure.sweeps["Radix"]
+        base = sweep.baseline.result
+        model = OverheadModel(
+            base_runtime_us=base.runtime_us,
+            max_messages_per_proc=base.stats.max_messages_per_node)
+        top = sweep.points[-1]
+        delta_o = top.value - sweep.points[0].value
+        return top.runtime_us / model.predict_runtime(delta_o)
+
+    residual16 = model_residual(fig16)
+    residual32 = model_residual(fig32)
+    assert residual32 > 1.1, residual32          # under-predicted at 32n
+    assert residual32 > residual16, (residual16, residual32)
+
+    # Everything else is roughly equally sensitive at both sizes
+    # (within ~2x either way, per Figure 5a vs 5b).
+    for name in ("Sample", "EM3D(write)", "NOW-sort"):
+        ratio = figs[LARGE_NODES].max_slowdown(name) \
+            / figs[SMALL_NODES].max_slowdown(name)
+        assert 0.5 < ratio < 2.0, (name, ratio)

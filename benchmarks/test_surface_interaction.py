@@ -1,0 +1,34 @@
+"""The overhead × gap interaction surface (extension).
+
+For a CPU-bound short-message program, overhead and gap throttle the
+*same* messages: once ``o`` exceeds ``g`` the processor is the
+bottleneck and added gap mostly hides behind it, so the combined
+slowdown falls short of the independent-axes sum (negative interaction
+excess).  The surface must also be monotone in both dials.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.harness.surface import overhead_gap_surface
+
+
+def test_overhead_gap_surface(benchmark):
+    surface = run_once(benchmark, lambda: overhead_gap_surface(
+        app_name="Sample", n_nodes=16, values=(25.0, 100.0),
+        scale=BENCH_SCALE))
+    print()
+    print(surface.render())
+
+    assert surface.is_monotone()
+
+    # Overhead is the stronger axis (the paper's headline): a pure-o
+    # point beats the equal pure-g point.
+    assert surface.at(100.0, 0.0) > surface.at(0.0, 100.0)
+
+    # Redundancy: at the far corner the two dials overlap — the
+    # measured slowdown is below the additive composition.
+    excess = surface.interaction_excess(100.0, 100.0)
+    independent = (surface.at(100.0, 0.0) + surface.at(0.0, 100.0)
+                   - 1.0)
+    print(f"corner measured {surface.at(100.0, 100.0):.1f}x vs "
+          f"additive {independent:.1f}x (excess {excess:+.1f})")
+    assert excess < 0.0

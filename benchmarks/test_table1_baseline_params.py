@@ -1,0 +1,38 @@
+"""Table 1: baseline LogGP parameters of the machine presets.
+
+Paper values: NOW (o=2.9, g=5.8, L=5.0, 38 MB/s), Intel Paragon
+(o=1.8, g=7.6, L=6.5, 141 MB/s), Meiko CS-2 (o=1.7, g=13.6, L=7.5,
+47 MB/s) — all measured here with the same microbenchmarks.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import table1_baseline_params
+
+PAPER = {
+    "berkeley-now": {"o": 2.9, "g": 5.8, "L": 5.0, "MB/s": 38},
+    "intel-paragon": {"o": 1.8, "g": 7.6, "L": 6.5, "MB/s": 141},
+    "meiko-cs2": {"o": 1.7, "g": 13.6, "L": 7.5, "MB/s": 47},
+}
+
+
+def test_table1(benchmark):
+    table = run_once(benchmark, table1_baseline_params)
+    print()
+    print(table.render())
+    rows = {row["Platform"]: row for row in table.rows()}
+    assert set(rows) == set(PAPER)
+    for platform, expected in PAPER.items():
+        measured = rows[platform]
+        assert abs(measured["o (us)"] - expected["o"]) < 0.3
+        # Finite bursts under-read g slightly, as in the paper.
+        assert abs(measured["g (us)"] - expected["g"]) \
+            < 0.15 * expected["g"] + 0.3
+        assert abs(measured["L (us)"] - expected["L"]) < 0.5
+        assert abs(measured["MB/s (1/G)"] - expected["MB/s"]) \
+            < 0.08 * expected["MB/s"] + 1
+    # Cross-machine ordering, as in Table 1: the Paragon has the most
+    # bulk bandwidth, the Meiko the largest gap, the NOW the lowest L.
+    assert rows["intel-paragon"]["MB/s (1/G)"] \
+        > rows["meiko-cs2"]["MB/s (1/G)"] \
+        > rows["berkeley-now"]["MB/s (1/G)"]
+    assert rows["meiko-cs2"]["g (us)"] > rows["intel-paragon"]["g (us)"]

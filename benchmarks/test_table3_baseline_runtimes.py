@@ -1,0 +1,45 @@
+"""Table 3: the ten applications and their 16/32-node base runtimes.
+
+The paper runs each fixed input on 16 and on 32 nodes; most programs
+parallelise well (32-node runtime clearly below 16-node).  Absolute
+seconds are testbed-specific; asserted here: every app completes with a
+validated result, and the well-parallelised apps speed up when doubling
+the nodes.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, LARGE_NODES, SMALL_NODES, \
+    run_once
+from repro.harness.experiments import table3_baseline_runtimes
+
+#: Apps whose dominant phases are data-parallel; the paper's Table 3
+#: shows all of these running ~1.4-2x faster on 32 nodes.  Radix is
+#: excluded: at the benchmark's reduced input its serialized histogram
+#: phase (proportional to radix x P, not keys) caps the speedup — the
+#: very effect Section 5.1 analyses.
+WELL_PARALLELISED = ["EM3D(write)", "EM3D(read)", "Sample", "NOW-sort"]
+
+
+def test_table3(benchmark):
+    table = run_once(benchmark, lambda: table3_baseline_runtimes(
+        node_counts=(SMALL_NODES, LARGE_NODES), scale=BENCH_SCALE))
+    print()
+    print(table.render())
+
+    assert len(table.runtimes) == 10
+    for app_name, by_nodes in table.runtimes.items():
+        assert by_nodes[SMALL_NODES] > 0
+        assert by_nodes[LARGE_NODES] > 0
+
+    for app_name in WELL_PARALLELISED:
+        by_nodes = table.runtimes[app_name]
+        speedup = by_nodes[SMALL_NODES] / by_nodes[LARGE_NODES]
+        assert speedup > 1.15, (
+            f"{app_name} should speed up from 16 to 32 nodes "
+            f"(got {speedup:.2f}x)")
+
+    # Relative magnitudes that hold in Table 3: the read-based EM3D is
+    # the slower variant, and the bulk radix crushes per-key radix.
+    runtimes_32 = {name: by_nodes[LARGE_NODES]
+                   for name, by_nodes in table.runtimes.items()}
+    assert runtimes_32["EM3D(read)"] > runtimes_32["EM3D(write)"]
+    assert runtimes_32["Radb"] < runtimes_32["Radix"]

@@ -1,0 +1,60 @@
+"""Table 4: the communication summary of all ten applications.
+
+Shape assertions from the paper's table: communication frequency spans
+orders of magnitude with the sorts/EM3D at the top and NOW-sort at the
+bottom; EM3D(read)/P-Ray/Connect are read-dominated while the sorts are
+pure writes; P-Ray/Barnes/NOW-sort/Radb use bulk transfers while
+Radix/Sample/EM3D send only short messages.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, LARGE_NODES, run_once
+from repro.harness.experiments import table4_comm_summary
+
+
+def test_table4(benchmark):
+    table = run_once(benchmark, lambda: table4_comm_summary(
+        n_nodes=LARGE_NODES, scale=BENCH_SCALE))
+    print()
+    print(table.render())
+
+    summaries = {name: result.summary()
+                 for name, result in table.results.items()}
+    assert len(summaries) == 10
+
+    freq = {name: s.messages_per_proc_per_ms
+            for name, s in summaries.items()}
+    # Frequency ordering: frequent communicators clearly above the
+    # infrequent ones; NOW-sort is the least communication-intensive.
+    for chatty in ("Radix", "EM3D(write)", "EM3D(read)", "Sample"):
+        assert freq[chatty] > 5 * freq["NOW-sort"]
+    assert freq["NOW-sort"] == min(freq.values())
+    assert max(freq, key=freq.get) in ("Radix", "EM3D(write)", "Sample")
+
+    reads = {name: s.percent_reads for name, s in summaries.items()}
+    for read_app in ("EM3D(read)", "P-Ray", "Connect"):
+        assert reads[read_app] > 40.0
+    for write_app in ("Radix", "EM3D(write)", "Sample", "Murphi",
+                      "NOW-sort"):
+        assert reads[write_app] < 1.0
+
+    bulk = {name: s.percent_bulk for name, s in summaries.items()}
+    for bulk_app in ("P-Ray", "NOW-sort", "Radb", "Barnes"):
+        assert bulk[bulk_app] > 10.0
+    for short_app in ("Radix", "EM3D(write)", "EM3D(read)", "Sample",
+                      "Connect"):
+        assert bulk[short_app] < 1.0
+
+    # Barnes and EM3D(write) barrier relatively frequently; NOW-sort
+    # barriers only between its two phases.
+    barrier = {name: s.barrier_interval_ms
+               for name, s in summaries.items()}
+    assert barrier["EM3D(write)"] < barrier["NOW-sort"]
+
+    # Bulk bandwidth: the bulk-using apps move real bulk data; the
+    # short-message apps essentially none (Table 4's KB/s columns).
+    bulk_bw = {name: s.bulk_kb_per_s for name, s in summaries.items()}
+    for bulk_app in ("NOW-sort", "P-Ray", "Barnes"):
+        assert bulk_bw[bulk_app] > 50.0, (bulk_app, bulk_bw[bulk_app])
+    for short_app in ("EM3D(write)", "EM3D(read)", "Sample"):
+        assert bulk_bw[short_app] < 10.0, (short_app,
+                                           bulk_bw[short_app])

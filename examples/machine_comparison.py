@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Machine design points, and the paper's closing trade-off.
+
+Part 1 runs one application across the machine presets of Table 1
+(Berkeley NOW, Intel Paragon, Meiko CS-2) plus a TCP/IP-LAN design
+point, showing how far cluster communication had come by 1997.
+
+Part 2 reproduces the conclusion of Section 5.5: "rather than making a
+significant investment to double a machine's processing capacity, the
+investment may be better directed toward improving the communication
+system."  We compare doubling CPU speed against halving the
+communication overhead for a frequently communicating application.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from repro import Cluster, CostModel, TuningKnobs
+from repro.apps import SampleSort
+from repro.cluster.presets import MACHINE_PRESETS
+from repro.harness.report import render_table
+from repro.network.loggp import LogGPParams
+
+
+def part1_machines() -> None:
+    app = SampleSort(keys_per_proc=512)
+    rows = []
+    for name, params in MACHINE_PRESETS.items():
+        cluster = Cluster(n_nodes=16, params=params, seed=7)
+        result = cluster.run(app)
+        rows.append({
+            "machine": name,
+            "o (us)": round(params.overhead, 1),
+            "g (us)": params.gap,
+            "L (us)": params.latency,
+            "runtime (ms)": round(result.runtime_s * 1000, 2),
+        })
+    print(render_table(rows, title="Sample sort across Table 1's "
+                       "machines (16 nodes)"))
+    print()
+
+
+def part2_invest() -> None:
+    app = SampleSort(keys_per_proc=512)
+    now = LogGPParams.berkeley_now()
+    base = Cluster(n_nodes=16, params=now, seed=7)
+    baseline = base.run(app)
+
+    # Option A: double the processor speed (halve every compute cost).
+    fast_cpu = Cluster(n_nodes=16, params=now, seed=7,
+                       cost=CostModel().scaled(0.5))
+    # Option B: halve the communication costs (overhead AND the
+    # per-message gap — halving o alone just moves the bottleneck to
+    # the NIC, a LogGP effect worth seeing for yourself).
+    fast_net = Cluster(
+        n_nodes=16, seed=7,
+        params=now.with_changes(send_overhead=now.send_overhead / 2,
+                                recv_overhead=now.recv_overhead / 2,
+                                gap=now.gap / 2))
+
+    rows = [{"design": "baseline NOW",
+             "runtime (ms)": round(baseline.runtime_s * 1000, 2),
+             "speedup": 1.0}]
+    for label, cluster in (("2x faster CPUs", fast_cpu),
+                           ("1/2 o and g", fast_net)):
+        result = cluster.run(app)
+        rows.append({
+            "design": label,
+            "runtime (ms)": round(result.runtime_s * 1000, 2),
+            "speedup": round(baseline.runtime_us / result.runtime_us, 2),
+        })
+    print(render_table(rows, title="where to invest (Section 5.5)"))
+    print("\nFor a communication-intensive app, halving the "
+          "communication costs\nbuys more than doubling the CPU.")
+
+
+def main() -> None:
+    part1_machines()
+    part2_invest()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Dissecting message latency with the built-in tracer.
+
+Every message in the simulator passes four observable points — host
+send, NIC injection, NIC delivery, host handling — which decompose its
+latency into the LogGP components: transmit queueing (gap/backlog),
+wire time (L, plus the delay queue when dialed), and receive queueing
+(how long the polling host left it waiting).
+
+This example traces EM3D(read) under three machines and shows where the
+microseconds go — and how the *same* added 50 µs lands in a different
+component depending on which dial produced it.
+
+Run:  python examples/message_anatomy.py
+"""
+
+from repro import Cluster, TuningKnobs
+from repro.apps import EM3D
+from repro.harness.report import render_table
+from repro.instruments.trace import MessageTracer
+
+
+def trace_run(knobs: TuningKnobs) -> dict:
+    tracer = MessageTracer()
+    cluster = Cluster(n_nodes=8, seed=11, knobs=knobs)
+    cluster.run(EM3D(nodes_per_proc=10, steps=2, variant="read"),
+                tracer=tracer)
+    breakdown = tracer.component_breakdown()
+    stats = tracer.latency_stats()
+    return {
+        "machine": knobs.describe(),
+        "messages": stats["count"],
+        "mean total (us)": round(stats["mean_us"], 1),
+        "tx queueing": round(breakdown["tx_queueing"], 1),
+        "wire": round(breakdown["wire"], 1),
+        "rx queueing": round(breakdown["rx_queueing"], 1),
+    }
+
+
+def main() -> None:
+    rows = [
+        trace_run(TuningKnobs()),
+        trace_run(TuningKnobs.added_latency(50.0)),
+        trace_run(TuningKnobs.added_gap(50.0)),
+        trace_run(TuningKnobs.added_occupancy(50.0)),
+    ]
+    print(render_table(rows, title="where a message's time goes "
+                                   "(EM3D(read), 8 nodes)"))
+    print("""
+Reading the table:
+ * +L lands squarely in the wire stage (the NIC delay queue);
+ * +g shows up as transmit queueing - packets wait behind the
+   injection stall;
+ * +occupancy splits between the transmit path and the wire stage
+   (the receive context serialises before deposit).
+The host-side o does not appear here at all: it is charged to the
+*processor*, which is exactly why the paper treats o and L/g/G as
+independent axes.""")
+
+
+if __name__ == "__main__":
+    main()

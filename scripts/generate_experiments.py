@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every artifact.
+
+Runs the complete evaluation at the benchmark scale and writes a
+markdown report pairing each of the paper's headline numbers with this
+reproduction's measurements.
+
+Usage:  python scripts/generate_experiments.py [--scale 0.5] [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.calibrate import calibrate_bulk_bandwidth
+from repro.harness import experiments
+
+
+def fmt(value, digits=2):
+    if value is None:
+        return "N/A"
+    return f"{value:.{digits}f}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    scale = args.scale
+    started = time.time()
+    out = []
+    w = out.append
+
+    w("# EXPERIMENTS — paper vs. this reproduction\n")
+    w("Regenerated with `python scripts/generate_experiments.py "
+      f"--scale {scale}`.")
+    w("All measurements are from the discrete-event substrate at the "
+      "reduced input scale\n(the benchmark default); absolute times are "
+      "not comparable to the 1997 testbed, so\neach entry compares the "
+      "*shape*: orderings, factors, linearity, crossovers.\n")
+
+    # ---- Table 1 ---------------------------------------------------------
+    t1 = experiments.table1_baseline_params()
+    w("## Table 1 — baseline LogGP parameters\n")
+    w("| platform | paper (o, g, L, MB/s) | measured (o, g, L, MB/s) |")
+    w("|---|---|---|")
+    paper_t1 = {"berkeley-now": (2.9, 5.8, 5.0, 38),
+                "intel-paragon": (1.8, 7.6, 6.5, 141),
+                "meiko-cs2": (1.7, 13.6, 7.5, 47)}
+    for row in t1.rows():
+        name = row["Platform"]
+        p = paper_t1[name]
+        w(f"| {name} | {p[0]}, {p[1]}, {p[2]}, {p[3]} | "
+          f"{row['o (us)']}, {row['g (us)']}, {row['L (us)']}, "
+          f"{row['MB/s (1/G)']} |")
+    w("\nVerdict: the microbenchmarks recover every machine's dialed "
+      "parameters; g reads\nslightly low from finite bursts, as the "
+      "paper also observed.\n")
+
+    # ---- Figure 3 --------------------------------------------------------
+    sig = experiments.figure3_signature(14.0)
+    w("## Figure 3 — LogP signature (g dialed to 14 µs)\n")
+    w("```\n" + sig.render() + "\n```")
+    w(f"- paper: o_send ≈ 1.8 µs; measured: "
+      f"{fmt(sig.send_overhead())} µs")
+    w(f"- paper: steady-state g ≈ 12.8 µs (desired 14); measured: "
+      f"{fmt(sig.steady_state(0.0))} µs")
+    w(f"- paper: Δ=10 plateau at o_send+o_recv+Δ ≈ 15.8 µs; measured: "
+      f"{fmt(sig.steady_state(10.0))} µs\n")
+
+    # ---- Table 2 ---------------------------------------------------------
+    t2 = experiments.table2_calibration(
+        desired_o=(2.9, 12.9, 52.9, 102.9),
+        desired_g=(5.8, 15.0, 55.0, 105.0),
+        desired_L=(5.0, 15.0, 55.0, 105.0))
+    w("## Table 2 — calibration of the dials\n")
+    w("```\n" + t2.render() + "\n```")
+    w("Shape checks (all reproduce the paper):")
+    w("- each dial hits its target; the other parameters hold still;")
+    w("- large o drives effective g toward 2·o (processor becomes the "
+      "bottleneck);")
+    w("- large L drives effective g toward RTT/window (fixed "
+      "flow-control capacity —\n  the paper's 27.7 µs at L=105; ours: "
+      f"{fmt([r for r in t2.rows_ if r.dialed == 'L'][-1].measured.gap)}"
+      " µs).\n")
+
+    # ---- Table 3 ---------------------------------------------------------
+    t3 = experiments.table3_baseline_runtimes(node_counts=(16, 32),
+                                              scale=scale)
+    w("## Table 3 — base runtimes, fixed input, 16 vs 32 nodes\n")
+    w("| program | paper 16/32-node (s) | measured 16/32-node (ms) | "
+      "measured speedup |")
+    w("|---|---|---|---|")
+    paper_t3 = {"Radix": (13.66, 7.76), "EM3D(write)": (88.59, 37.98),
+                "EM3D(read)": (230.0, 114.0), "Sample": (24.65, 13.23),
+                "Barnes": (77.89, 43.24), "P-Ray": (23.47, 17.91),
+                "Murphi": (67.68, 35.33), "Connect": (2.29, 1.17),
+                "NOW-sort": (127.2, 56.87), "Radb": (6.96, 3.73)}
+    for name, by_nodes in t3.runtimes.items():
+        p16, p32 = paper_t3[name]
+        m16 = by_nodes[16] / 1000.0
+        m32 = by_nodes[32] / 1000.0
+        w(f"| {name} | {p16} / {p32} | {fmt(m16)} / {fmt(m32)} | "
+          f"{fmt(m16 / m32)}x |")
+    w("\nVerdict: all ten applications complete with validated outputs "
+      "at both sizes; the\ndata-parallel apps speed up going 16→32 "
+      "while Radix's histogram serialization\n(∝ radix × P) caps its "
+      "speedup at reduced key counts — the Section 5.1 effect.\n")
+
+    # ---- Figure 4 / Table 4 ----------------------------------------------
+    t4 = experiments.table4_comm_summary(n_nodes=32, scale=scale)
+    w("## Table 4 — communication summary (32 nodes)\n")
+    w("```\n" + t4.render() + "\n```")
+    w("Paper-vs-measured orderings that hold: Radix/EM3D(write)/Sample "
+      "are the most\nfrequent communicators and NOW-sort the least; "
+      "EM3D(read)/P-Ray/Connect are\nread-dominated (paper: 97/96/67%); "
+      "P-Ray/Barnes/NOW-sort/Radb carry the bulk\ntraffic (paper: "
+      "48/23/50/35%).\n")
+
+    fig4 = experiments.figure4_balance(
+        n_nodes=32, scale=scale,
+        names=["Radix", "EM3D(write)", "Sample", "NOW-sort"])
+    w("## Figure 4 — communication balance (selected matrices)\n")
+    for name, result in fig4.results.items():
+        w("```\n" + result.render_balance() + "\n```")
+    w("Reproduced features: Radix's dark off-diagonal ring (the "
+      "pipelined cyclic-shift\nhistogram) over a balanced background; "
+      "EM3D's near-diagonal swath; Sample's\nuneven columns; NOW-sort's "
+      "solid balanced square.\n")
+
+    # ---- Figures 5-8 + Tables 5-6 ------------------------------------------
+    overheads = (2.9, 12.9, 52.9, 102.9)
+    fig5_16 = experiments.figure5_overhead(n_nodes=16, scale=scale,
+                                           overheads=overheads)
+    fig5_32 = experiments.figure5_overhead(n_nodes=32, scale=scale,
+                                           overheads=overheads)
+    w("## Figure 5 — sensitivity to overhead\n")
+    w("```\n" + fig5_32.render() + "\n```")
+    w("| app | paper max slowdown (32n, o≈103) | measured 16n | "
+      "measured 32n |")
+    w("|---|---|---|---|")
+    paper_f5 = {"Radix": "57x", "EM3D(write)": "27x",
+                "EM3D(read)": "22x", "Sample": "21x", "Barnes": "N/A "
+                "(livelock past o≈7)", "P-Ray": "6.4x", "Murphi": "3.1x",
+                "Connect": "2.2x", "NOW-sort": "1.25x", "Radb": "1.7x"}
+    for name in fig5_32.sweeps:
+        w(f"| {name} | {paper_f5[name]} | "
+          f"{fmt(fig5_16.max_slowdown(name))}x | "
+          f"{fmt(fig5_32.max_slowdown(name))}x |")
+    from repro.models import OverheadModel
+
+    def radix_residual(figure):
+        sweep = figure.sweeps["Radix"]
+        base = sweep.baseline.result
+        model = OverheadModel(
+            base_runtime_us=base.runtime_us,
+            max_messages_per_proc=base.stats.max_messages_per_node)
+        top = sweep.points[-1]
+        return top.runtime_us / model.predict_runtime(
+            top.value - sweep.points[0].value)
+
+    residual16 = radix_residual(fig5_16)
+    residual32 = radix_residual(fig5_32)
+    w(f"\nSerialization effect: the 2·m·Δo model under-predicts Radix "
+      f"by {fmt((residual16 - 1) * 100, 0)}% on 16\nnodes and "
+      f"{fmt((residual32 - 1) * 100, 0)}% on 32 nodes — the serial "
+      "residual grows with P, the paper's\nSection 5.1 analysis.  (At "
+      "the paper's 16M keys the effect also flips the raw\nslowdown "
+      "ratio, 57x vs ~25x; at reduced key counts the distribution "
+      "term shrinks\nfaster than at full scale, so only the residual "
+      "direction reproduces.)  Response\nis linear for every app, as "
+      "in the paper.\nDivergence: our Barnes completes "
+      "under high overhead (lock retries are paced by\nfull round "
+      "trips, so the retry storm stays bounded at our body counts); "
+      "the\nfailed-lock-attempt counter and the livelock budget "
+      "reproduce the paper's\ndiagnostic, but the emergent livelock "
+      "itself needs the paper's 1M-body scale.\n")
+
+    t5 = experiments.table5_overhead_model(
+        n_nodes=32, scale=scale, overheads=overheads,
+        names=["Radix", "EM3D(write)", "Sample", "NOW-sort", "Radb"])
+    w("## Table 5 — overhead model (r + 2·m·Δo)\n")
+    w("```\n" + t5.render() + "\n```")
+    w("As in the paper: accurate for the frequently communicating, "
+      "well-parallelised\napps (Sample, EM3D(write)); under-predicts "
+      "Radix at high overhead (the serial\nhistogram phase the "
+      "busiest-processor model cannot see).\n")
+
+    gaps = (5.8, 15.0, 55.0, 105.0)
+    fig6 = experiments.figure6_gap(n_nodes=32, scale=scale, gaps=gaps)
+    w("## Figure 6 — sensitivity to gap\n")
+    w("```\n" + fig6.render() + "\n```")
+    w("| app | paper slowdown at g=105 | measured |")
+    w("|---|---|---|")
+    paper_f6 = {"Radix": "17.2x", "EM3D(write)": "13.6x",
+                "EM3D(read)": "8.7x", "Sample": "10.6x",
+                "Barnes": "4.8x", "P-Ray": "2.0x", "Murphi": "1.1x",
+                "Connect": "1.6x", "NOW-sort": "1.0x", "Radb": "1.1x"}
+    for name in fig6.sweeps:
+        w(f"| {name} | {paper_f6[name]} | "
+          f"{fmt(fig6.max_slowdown(name))}x |")
+    w("\nFrequent communicators are hit hard; light communicators "
+      "shrug — and the\nresponse is linear (bursty traffic), which is "
+      "why the burst model fits.\n")
+
+    t6 = experiments.table6_gap_model(
+        n_nodes=32, scale=scale, gaps=gaps,
+        names=["Radix", "EM3D(write)", "Sample", "NOW-sort", "Connect"])
+    w("## Table 6 — burst gap model (r + m·Δg)\n")
+    w("```\n" + t6.render() + "\n```")
+    w("Tracks the heavy communicators; over-predicts overall since not "
+      "every message\nis sent inside a burst — both as in the paper.\n")
+
+    latencies = (5.0, 15.0, 55.0, 105.0)
+    fig7 = experiments.figure7_latency(n_nodes=32, scale=scale,
+                                       latencies=latencies)
+    w("## Figure 7 — sensitivity to latency\n")
+    w("```\n" + fig7.render() + "\n```")
+    w("| app | paper slowdown at L=105 | measured |")
+    w("|---|---|---|")
+    paper_f7 = {"EM3D(read)": "8.7x", "Barnes": "4.8x", "P-Ray": "3.4x",
+                "EM3D(write)": "2.2x", "Radix": "1.8x", "Sample": "1.6x",
+                "Murphi": "1.1x", "Connect": "3.9x", "NOW-sort": "1.0x",
+                "Radb": "1.1x"}
+    for name in fig7.sweeps:
+        w(f"| {name} | {paper_f7[name]} | "
+          f"{fmt(fig7.max_slowdown(name))}x |")
+    w("\nThe ordering flips from message frequency to *read* frequency: "
+      "EM3D(read) tops\nthe chart, the write-based sorts barely react. "
+      "Latency matters least of the four\nparameters, as the paper "
+      "concludes.\n")
+
+    bandwidths = (38.0, 15.0, 10.0, 5.5, 1.0)
+    fig8 = experiments.figure8_bulk(n_nodes=32, scale=scale,
+                                    bandwidths=bandwidths)
+    w("## Figure 8 — sensitivity to bulk bandwidth\n")
+    w("```\n" + fig8.render() + "\n```")
+    w("| app | measured slowdown at 1 MB/s |")
+    w("|---|---|")
+    for name in fig8.sweeps:
+        w(f"| {name} | {fmt(fig8.max_slowdown(name))}x |")
+    nowsort = dict(fig8.sweeps["NOW-sort"].series())
+    w(f"\nPaper headlines reproduced: nothing reacts until ~15 MB/s; "
+      f"no slowdown beyond\n~3x even at 1 MB/s; NOW-sort is disk-limited "
+      f"(at 5.5 MB/s it is {fmt(nowsort[5.5])}x, only at\n1 MB/s does "
+      f"it reach {fmt(nowsort[1.0])}x).\n")
+
+    # ---- bulk calibration footnote ------------------------------------------
+    bulk = calibrate_bulk_bandwidth()
+    w("## Appendix — bulk bandwidth calibration\n")
+    w("Bandwidth saturates with message size at "
+      f"{fmt(bulk.saturated_mb_s, 1)} MB/s (machine: 38), as the "
+      "paper's\ncalibration saturates at 2 KB messages.\n")
+
+    elapsed = time.time() - started
+    w(f"---\n*Generated in {elapsed:.0f} s of wall-clock simulation.*")
+
+    with open(args.out, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+    print(f"wrote {args.out} in {elapsed:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

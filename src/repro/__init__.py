@@ -1,0 +1,30 @@
+"""repro — reproduction of Martin et al., *Effects of Communication Latency,
+Overhead, and Bandwidth in a Cluster Architecture* (ISCA 1997).
+
+The package provides a discrete-event cluster simulator whose network layer
+implements the LogGP abstract machine, an Active Message layer with the
+paper's four independent tuning knobs (latency ``L``, overhead ``o``,
+per-message gap ``g``, per-byte Gap ``G``), a Split-C-style global address
+space, the full ten-application benchmark suite, the calibration
+microbenchmarks, the analytical sensitivity models, and the experiment
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Cluster, LogGPParams, TuningKnobs
+    from repro.apps import RadixSort
+
+    cluster = Cluster(n_nodes=32, params=LogGPParams.berkeley_now())
+    result = cluster.run(RadixSort(keys_per_proc=2048))
+    print(result.runtime_us, result.stats.total_messages)
+"""
+
+from repro.network.loggp import LogGPParams
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import Cluster, RunResult
+from repro.cluster.node import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = ["LogGPParams", "TuningKnobs", "Cluster", "RunResult",
+           "CostModel", "__version__"]

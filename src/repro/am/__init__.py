@@ -1,0 +1,15 @@
+"""The Active Message layer, including the paper's tuning apparatus.
+
+* :mod:`repro.am.tuning` -- :class:`TuningKnobs`, the independent dials
+  for added overhead, gap, latency, and per-byte Gap (Section 3.2 of the
+  paper).
+* :mod:`repro.am.layer` -- the Generic-Active-Messages-style communication
+  layer: short request/reply messages, one-way messages, bulk transfers
+  with 4 KB fragmentation, polling handler dispatch, and the fixed
+  flow-control window.
+"""
+
+from repro.am.tuning import TuningKnobs
+from repro.am.layer import AmLayer, HandlerTable, DEFAULT_WINDOW
+
+__all__ = ["TuningKnobs", "AmLayer", "HandlerTable", "DEFAULT_WINDOW"]

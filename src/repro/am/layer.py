@@ -1,0 +1,502 @@
+"""A Generic-Active-Messages-style communication layer.
+
+One :class:`AmLayer` exists per node.  Exactly one host process (the SPMD
+program) drives it; the layer's operations are generators that the host
+process ``yield from``'s, so every microsecond of overhead is charged to
+the host processor that incurs it, exactly as in the paper's apparatus:
+
+* every send costs ``send_overhead + delta_o`` of host time;
+* every reception costs ``recv_overhead + delta_o`` of host time, paid
+  when the host *polls* (GAM is polling-based: the layer polls on every
+  communication operation and while waiting);
+* request/reply pairing follows Split-C semantics -- every request is
+  answered, either explicitly by its handler or by an automatic ack, so a
+  processor pays ``2 o`` per message it sends (the paper's ``2 m o``
+  overhead model);
+* one-way messages (used by NOW-sort) are acknowledged at NIC level
+  (a CREDIT) and cost the sender only one ``o``;
+* a fixed window of :data:`DEFAULT_WINDOW` outstanding messages provides
+  flow control.  The window is intentionally *constant*, independent of
+  ``L`` and ``g`` -- the paper observes ("a notable effect of our
+  implementation") that this makes the effective gap rise at very large
+  latencies because the pipeline can no longer be filled.
+
+Handlers are generator functions ``handler(am, packet)`` registered in a
+:class:`HandlerTable`.  A request handler may call :meth:`AmLayer.reply`
+(or :meth:`AmLayer.reply_bulk`) at most once; GAM's rule that handlers
+must not issue new *requests* is enforced.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Optional
+
+from repro.am.tuning import TuningKnobs
+from repro.network.loggp import LogGPParams
+from repro.network.packet import (BULK_FRAGMENT_BYTES, Packet, PacketKind,
+                                  SHORT_PACKET_BYTES, new_xfer_id)
+from repro.sim import Simulator
+
+__all__ = ["AmLayer", "HandlerTable", "DEFAULT_WINDOW", "AmError"]
+
+#: Fixed number of outstanding (unacknowledged) messages per node.  Eight
+#: reproduces the paper's Table 2 latency/gap coupling: at ``delta_L`` = 100
+#: µs the effective gap observed there (~27.7 µs) matches RTT/8.
+DEFAULT_WINDOW = 8
+
+
+class AmError(RuntimeError):
+    """Protocol misuse (double reply, request from handler, ...)."""
+
+
+class HandlerTable:
+    """Named Active Message handlers for one application."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Callable] = {}
+
+    def register(self, name: str, handler: Callable) -> None:
+        """Register generator function ``handler(am, packet)``."""
+        if name in self._handlers:
+            raise AmError(f"handler {name!r} already registered")
+        self._handlers[name] = handler
+
+    def lookup(self, name: str) -> Callable:
+        """Resolve a handler by name; AmError if unregistered."""
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise AmError(f"no handler registered under {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._handlers
+
+
+class AmLayer:
+    """The per-node Active Message endpoint."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: LogGPParams,
+                 knobs: TuningKnobs, wire: "Wire",  # noqa: F821
+                 handlers: HandlerTable,
+                 window: int = DEFAULT_WINDOW,
+                 window_scope: str = "per-destination",
+                 stats: Optional["ClusterStats"] = None,
+                 tracer: Optional["MessageTracer"] = None) -> None:  # noqa: F821
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if window_scope not in ("per-destination", "global"):
+            raise ValueError(f"unknown window scope {window_scope!r}")
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.knobs = knobs
+        self.handlers = handlers
+        self.window = window
+        self.window_scope = window_scope
+        self.stats = stats
+        self.tracer = tracer
+        #: Flow control is per destination endpoint, as in GAM: ``window``
+        #: outstanding requests per (src, dst) pair.  A single-partner
+        #: exchange (the calibration microbenchmark) is throttled to
+        #: RTT/window at large L — the paper's Table 2 coupling — while
+        #: all-to-all application traffic is not.
+        self._credits: Dict[int, int] = {}
+        #: xfer_id -> destination, to return the right pair's credit.
+        self._credit_owner: Dict[int, int] = {}
+        self._rx_queue: Deque[Packet] = deque()
+        self._wakeup = None
+        #: xfer_id -> callable(payload) run when the pairing reply (or
+        #: reply-bulk completion) is processed by the host.
+        self._on_reply: Dict[int, Callable[[Any], None]] = {}
+        self._current_request: Optional[Packet] = None
+        self._current_replied = False
+        # Imported here to keep the am <-> network import graph acyclic
+        # (the NIC needs TuningKnobs from this package).
+        from repro.network.nic import Nic
+        self.nic = Nic(sim, node_id, params, knobs, wire,
+                       deliver_to_host=self._host_deliver,
+                       return_credit=self._credit_returned,
+                       tracer=tracer)
+
+    # -- effective per-event costs ----------------------------------------
+    @property
+    def send_cost(self) -> float:
+        """Host time to send one message: ``o_send + delta_o`` µs."""
+        return self.params.send_overhead + self.knobs.delta_o
+
+    @property
+    def recv_cost(self) -> float:
+        """Host time to receive one message: ``o_recv + delta_o`` µs."""
+        return self.params.recv_overhead + self.knobs.delta_o
+
+    def credits_for(self, dst: int) -> int:
+        """Unused window slots toward ``dst`` (diagnostic)."""
+        return self._credits.get(self._credit_key(dst), self.window)
+
+    @property
+    def credits_available(self) -> int:
+        """Unused window slots toward the busiest destination
+        (diagnostic; equals ``window`` when nothing is outstanding)."""
+        if not self._credits:
+            return self.window
+        return min(self._credits.values())
+
+    @property
+    def rx_pending(self) -> int:
+        """Messages delivered by the NIC but not yet polled."""
+        return len(self._rx_queue)
+
+    # -- NIC callbacks ------------------------------------------------------
+    def _host_deliver(self, packet: Packet) -> None:
+        self._rx_queue.append(packet)
+        self._kick()
+
+    def _credit_returned(self, xfer_id: int) -> None:
+        dst = self._credit_owner.pop(xfer_id, None)
+        if dst is None:
+            raise AmError(
+                f"stray credit for xfer {xfer_id} on node {self.node_id}")
+        if self._credits[dst] >= self.window:
+            raise AmError(f"credit overflow on node {self.node_id}")
+        self._credits[dst] += 1
+        self._kick()
+
+    # -- wakeup signalling ---------------------------------------------------
+    def _kick(self) -> None:
+        """Wake the host process if it is blocked in :meth:`wait_until`."""
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+
+    def _arm_wakeup(self):
+        self._wakeup = self.sim.event(name=f"am-wakeup[{self.node_id}]")
+        return self._wakeup
+
+    # -- polling and waiting --------------------------------------------------
+    def poll(self) -> Generator:
+        """Drain delivered messages, paying receive overhead per message
+        and running handlers.  The workhorse of the layer; called from
+        every communication operation and wait loop, as in GAM."""
+        while self._rx_queue:
+            yield from self._service_one()
+
+    def _service_one(self) -> Generator:
+        """Receive and dispatch exactly one pending message."""
+        packet = self._rx_queue.popleft()
+        yield self.sim.timeout(self.recv_cost)
+        if self.stats is not None:
+            self.stats.on_host_recv(self.node_id, packet)
+        yield from self._dispatch(packet)
+        if self.tracer is not None:
+            self.tracer.record("handled", packet.xfer_id, self.sim.now)
+
+    def _dispatch(self, packet: Packet) -> Generator:
+        if packet.kind is PacketKind.REQUEST or (
+                packet.kind is PacketKind.BULK_FRAGMENT
+                and not packet.is_reply):
+            yield from self._dispatch_request(packet)
+        else:
+            yield from self._dispatch_reply(packet)
+
+    def _dispatch_request(self, packet: Packet) -> Generator:
+        outer_request = self._current_request
+        outer_replied = self._current_replied
+        self._current_request = packet
+        self._current_replied = False
+        try:
+            if packet.handler is not None:
+                handler = self.handlers.lookup(packet.handler)
+                result = handler(self, packet)
+                if result is not None:
+                    yield from result
+            if not packet.one_way and not self._current_replied:
+                # Split-C semantics: every request is acknowledged, so the
+                # sender's window credit returns and the sender pays its
+                # second `o` receiving the ack.
+                yield from self._send_auto_ack(packet)
+        finally:
+            self._current_request = outer_request
+            self._current_replied = outer_replied
+
+    def _dispatch_reply(self, packet: Packet) -> Generator:
+        callback = self._on_reply.pop(packet.xfer_id, None)
+        if packet.handler is not None and packet.handler in self.handlers:
+            handler = self.handlers.lookup(packet.handler)
+            result = handler(self, packet)
+            if result is not None:
+                yield from result
+        if callback is not None:
+            callback(packet.payload)
+
+    def wait_until(self, predicate: Callable[[], bool]) -> Generator:
+        """Poll until ``predicate()`` holds, sleeping between arrivals.
+
+        The predicate may only become true as a consequence of this node's
+        own polling (handler/reply processing) or of NIC-level credit
+        returns; both kick the wakeup event.  The predicate is re-checked
+        after *every* serviced message — a continuously refilling receive
+        queue (e.g. a storm of lock retries) must not starve the waiter
+        whose reply has already been processed.
+        """
+        while True:
+            if predicate():
+                return
+            if self._rx_queue:
+                yield from self._service_one()
+                continue
+            yield self._arm_wakeup()
+
+    # -- sending --------------------------------------------------------------
+    def _credit_key(self, dst: int) -> int:
+        """Which credit pool a destination draws from.
+
+        ``per-destination`` (GAM-like, the default) gives each endpoint
+        pair its own window; ``global`` shares one pool across all
+        destinations — the ablation under which even all-to-all traffic
+        is throttled to RTT/window at large L.
+        """
+        return dst if self.window_scope == "per-destination" else -1
+
+    def _acquire_credit(self, dst: int) -> Generator:
+        """Block (polling, like a stalled GAM sender) until a window slot
+        toward ``dst`` is free, then take it."""
+        key = self._credit_key(dst)
+        if key not in self._credits:
+            self._credits[key] = self.window
+        yield from self.wait_until(lambda: self._credits[key] > 0)
+        self._credits[key] -= 1
+
+    def _note_outstanding(self, packet: Packet) -> None:
+        self._credit_owner[packet.xfer_id] = self._credit_key(packet.dst)
+
+    def _charge_send(self) -> Generator:
+        yield self.sim.timeout(self.send_cost)
+
+    def _record_send(self, packet: Packet) -> None:
+        if self.stats is not None:
+            self.stats.on_send(self.node_id, packet)
+        if self.tracer is not None:
+            self.tracer.record("sent", packet.xfer_id, self.sim.now,
+                               src=packet.src, dst=packet.dst,
+                               kind=packet.kind.value)
+
+    def _guard_not_in_handler(self, operation: str) -> None:
+        if self._current_request is not None:
+            raise AmError(
+                f"{operation} issued from inside a request handler on node "
+                f"{self.node_id}; GAM handlers may only reply")
+
+    def send_request(self, dst: int, handler: str, payload: Any = None,
+                     size: int = SHORT_PACKET_BYTES, is_read: bool = False,
+                     on_reply: Optional[Callable[[Any], None]] = None,
+                     ) -> Generator:
+        """Issue a short request; returns its ``xfer_id``.
+
+        Non-blocking beyond the send overhead and any window stall;
+        ``on_reply(payload)`` runs when this node processes the pairing
+        reply.  Use :meth:`rpc` for the common blocking pattern.
+        """
+        self._guard_not_in_handler("send_request")
+        yield from self._acquire_credit(dst)
+        yield from self._charge_send()
+        packet = Packet(kind=PacketKind.REQUEST, src=self.node_id, dst=dst,
+                        handler=handler, payload=payload, size_bytes=size,
+                        is_read=is_read)
+        if on_reply is not None:
+            self._on_reply[packet.xfer_id] = on_reply
+        self._note_outstanding(packet)
+        self._record_send(packet)
+        self.nic.enqueue(packet)
+        return packet.xfer_id
+
+    def rpc(self, dst: int, handler: str, payload: Any = None,
+            size: int = SHORT_PACKET_BYTES, is_read: bool = False,
+            ) -> Generator:
+        """Blocking request/response; returns the reply payload.
+
+        Costs the issuing processor ``2 o`` (send + receive of the reply)
+        plus the round trip, and the serving processor ``2 o``.
+        """
+        box = _ReplyBox()
+        yield from self.send_request(dst, handler, payload=payload,
+                                     size=size, is_read=is_read,
+                                     on_reply=box.set)
+        yield from self.wait_until(box.arrived)
+        return box.value
+
+    def send_oneway(self, dst: int, handler: str, payload: Any = None,
+                    size: int = SHORT_PACKET_BYTES) -> Generator:
+        """Fire-and-forget short message (NIC-level ack; sender pays one
+        ``o``).  Used by NOW-sort's one-way Active Messages."""
+        self._guard_not_in_handler("send_oneway")
+        yield from self._acquire_credit(dst)
+        yield from self._charge_send()
+        packet = Packet(kind=PacketKind.REQUEST, src=self.node_id, dst=dst,
+                        handler=handler, payload=payload, size_bytes=size,
+                        one_way=True)
+        self._note_outstanding(packet)
+        self._record_send(packet)
+        self.nic.enqueue(packet)
+        return packet.xfer_id
+
+    # -- bulk transfers ---------------------------------------------------------
+    @staticmethod
+    def fragment_count(nbytes: int) -> int:
+        """Number of ≤4 KB fragments a bulk transfer is split into."""
+        return max(1, math.ceil(nbytes / BULK_FRAGMENT_BYTES))
+
+    def _enqueue_fragments(self, dst: int, handler: Optional[str],
+                           payload: Any, nbytes: int, one_way: bool,
+                           is_reply: bool, xfer_id: Optional[int] = None,
+                           is_read: bool = False) -> Packet:
+        count = self.fragment_count(nbytes)
+        xfer = xfer_id if xfer_id is not None else new_xfer_id()
+        remaining = nbytes
+        last_packet = None
+        for index in range(count):
+            size = min(BULK_FRAGMENT_BYTES, remaining)
+            remaining -= size
+            last = index == count - 1
+            packet = Packet(kind=PacketKind.BULK_FRAGMENT, src=self.node_id,
+                            dst=dst, handler=handler if last else None,
+                            payload=payload if last else None,
+                            size_bytes=max(1, size), one_way=one_way,
+                            is_bulk=True, fragment=(index, count),
+                            is_read=is_read, is_reply=is_reply,
+                            xfer_id=xfer,
+                            message_bytes=nbytes if last else None)
+            self.nic.enqueue(packet)
+            last_packet = packet
+        return last_packet
+
+    def bulk_store(self, dst: int, handler: str, payload: Any,
+                   nbytes: int,
+                   on_complete: Optional[Callable[[Any], None]] = None,
+                   ) -> Generator:
+        """Bulk transfer to ``dst``; the handler runs there on arrival.
+
+        Counts as one logical message occupying one window slot; the
+        destination acknowledges with a short reply whose processing
+        triggers ``on_complete``.  Returns the ``xfer_id``.
+        """
+        self._guard_not_in_handler("bulk_store")
+        if nbytes <= 0:
+            raise ValueError(f"bulk transfer of {nbytes} bytes")
+        yield from self._acquire_credit(dst)
+        yield from self._charge_send()
+        last = self._enqueue_fragments(dst, handler, payload, nbytes,
+                                       one_way=False, is_reply=False)
+        if on_complete is not None:
+            self._on_reply[last.xfer_id] = on_complete
+        self._note_outstanding(last)
+        self._record_send(last)
+        return last.xfer_id
+
+    def bulk_store_blocking(self, dst: int, handler: str, payload: Any,
+                            nbytes: int) -> Generator:
+        """Bulk store that waits for the destination's acknowledgement."""
+        box = _ReplyBox()
+        yield from self.bulk_store(dst, handler, payload, nbytes,
+                                   on_complete=box.set)
+        yield from self.wait_until(box.arrived)
+        return box.value
+
+    def bulk_oneway(self, dst: int, handler: str, payload: Any,
+                    nbytes: int) -> Generator:
+        """One-way bulk transfer (NIC-level credit; no host-level ack)."""
+        self._guard_not_in_handler("bulk_oneway")
+        if nbytes <= 0:
+            raise ValueError(f"bulk transfer of {nbytes} bytes")
+        yield from self._acquire_credit(dst)
+        yield from self._charge_send()
+        last = self._enqueue_fragments(dst, handler, payload, nbytes,
+                                       one_way=True, is_reply=False)
+        self._note_outstanding(last)
+        self._record_send(last)
+        return last.xfer_id
+
+    def bulk_rpc(self, dst: int, handler: str, payload: Any = None,
+                 size: int = SHORT_PACKET_BYTES) -> Generator:
+        """Short request whose reply is a *bulk* transfer (a GAM ``get``).
+
+        Returns ``(payload, nbytes)`` from the remote handler's
+        :meth:`reply_bulk`.  Flagged as a read for instrumentation.
+        """
+        box = _ReplyBox()
+        yield from self.send_request(dst, handler, payload=payload,
+                                     size=size, is_read=True,
+                                     on_reply=box.set)
+        yield from self.wait_until(box.arrived)
+        return box.value
+
+    # -- replying (only valid inside a handler) -----------------------------
+    def _take_current_request(self, operation: str) -> Packet:
+        if self._current_request is None:
+            raise AmError(f"{operation} outside a request handler")
+        if self._current_replied:
+            raise AmError("handler already replied to this request")
+        if self._current_request.one_way:
+            raise AmError(f"{operation} to a one-way message")
+        self._current_replied = True
+        return self._current_request
+
+    def reply(self, payload: Any = None, size: int = SHORT_PACKET_BYTES,
+              handler: Optional[str] = None) -> Generator:
+        """Send the short reply for the request being handled."""
+        request = self._take_current_request("reply")
+        yield from self._charge_send()
+        packet = Packet(kind=PacketKind.REPLY, src=self.node_id,
+                        dst=request.src, handler=handler, payload=payload,
+                        size_bytes=size, is_read=request.is_read)
+        packet.xfer_id = request.xfer_id
+        self._record_send(packet)
+        self.nic.enqueue(packet)
+
+    def reply_bulk(self, payload: Any, nbytes: int,
+                   handler: Optional[str] = None) -> Generator:
+        """Answer the request being handled with a bulk transfer."""
+        request = self._take_current_request("reply_bulk")
+        if nbytes <= 0:
+            raise ValueError(f"bulk reply of {nbytes} bytes")
+        yield from self._charge_send()
+        last = self._enqueue_fragments(
+            request.src, handler, (payload, nbytes), nbytes,
+            one_way=False, is_reply=True, xfer_id=request.xfer_id,
+            is_read=request.is_read)
+        self._record_send(last)
+
+    def _send_auto_ack(self, request: Packet) -> Generator:
+        """Automatic acknowledgement for handlers that did not reply."""
+        self._current_replied = True
+        yield from self._charge_send()
+        packet = Packet(kind=PacketKind.REPLY, src=self.node_id,
+                        dst=request.src, payload=None,
+                        size_bytes=SHORT_PACKET_BYTES,
+                        is_read=request.is_read)
+        packet.xfer_id = request.xfer_id
+        self._record_send(packet)
+        self.nic.enqueue(packet)
+
+    # -- draining ------------------------------------------------------------
+    def drain(self) -> Generator:
+        """Wait until every window slot is back (all sends acknowledged)."""
+        yield from self.wait_until(
+            lambda: all(c == self.window for c in self._credits.values()))
+
+
+class _ReplyBox:
+    """Mutable cell capturing a reply payload for blocking operations."""
+
+    __slots__ = ("value", "_arrived")
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self._arrived = False
+
+    def set(self, payload: Any) -> None:
+        self.value = payload
+        self._arrived = True
+
+    def arrived(self) -> bool:
+        return self._arrived

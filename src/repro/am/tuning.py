@@ -1,0 +1,133 @@
+"""The paper's experimental apparatus: independent LogGP dials.
+
+Section 3.2 of the paper modifies the communication layer so that each
+LogGP parameter can be raised independently of the others:
+
+* ``delta_o`` -- a stall loop executed by the *host* processor on every
+  message send and before every message reception.
+* ``delta_g`` -- a stall in the NIC transmit context *after* a message is
+  injected onto the wire (so latency and overhead are unaffected; the
+  receive context keeps running thanks to the LANai's dual contexts).
+* ``delta_L`` -- a receiver-side delay queue: an arriving message is
+  deposited normally but only marked *valid* ``delta_L`` microseconds
+  after its arrival, leaving ``o`` and ``g`` untouched.
+* ``delta_G`` -- a transmit-context stall after injecting each bulk
+  fragment, proportional to the fragment size.
+
+All values are *additive* to the baseline machine's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.network.loggp import LogGPParams
+
+__all__ = ["TuningKnobs"]
+
+
+@dataclass(frozen=True)
+class TuningKnobs:
+    """Additive adjustments to the four LogGP parameters (µs, µs/byte)."""
+
+    #: Host stall added to every send and every reception (µs).  The
+    #: effective ``o`` becomes ``o_base + delta_o``.
+    delta_o: float = 0.0
+    #: Transmit-context stall after each injection (µs); effective ``g``
+    #: becomes ``g_base + delta_g``.
+    delta_g: float = 0.0
+    #: Receiver delay-queue hold time (µs); effective ``L`` becomes
+    #: ``L_base + delta_L``.
+    delta_L: float = 0.0
+    #: Added transmit stall per bulk byte (µs/byte); effective ``G``
+    #: becomes ``G_base + delta_G``.
+    delta_G: float = 0.0
+    #: NIC-context *occupancy* per message (µs), charged at both the
+    #: sending and receiving interface.  Not one of the paper's four
+    #: dials — it is the parameter of the Flash study the paper compares
+    #: against in Section 6 ("occupancy is part of our latency as well
+    #: as gap"): it adds to every round trip AND serialises the rate at
+    #: which each interface can process messages.
+    delta_occ: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("delta_o", "delta_g", "delta_L", "delta_G",
+                           "delta_occ"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(
+                    f"{field_name} must be >= 0 (the apparatus can only "
+                    f"slow the machine down), got {value}")
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when no dial is turned (the unmodified machine)."""
+        return (self.delta_o == 0 and self.delta_g == 0
+                and self.delta_L == 0 and self.delta_G == 0
+                and self.delta_occ == 0)
+
+    def with_changes(self, **changes: float) -> "TuningKnobs":
+        """Return a copy with the given dials replaced."""
+        return replace(self, **changes)
+
+    # -- convenience constructors mirroring the paper's sweeps ------------
+    @classmethod
+    def added_overhead(cls, delta_o: float) -> "TuningKnobs":
+        """Dial only overhead up by ``delta_o`` µs (Figure 5 sweeps)."""
+        return cls(delta_o=delta_o)
+
+    @classmethod
+    def added_gap(cls, delta_g: float) -> "TuningKnobs":
+        """Dial only gap up by ``delta_g`` µs (Figure 6 sweeps)."""
+        return cls(delta_g=delta_g)
+
+    @classmethod
+    def added_latency(cls, delta_L: float) -> "TuningKnobs":
+        """Dial only latency up by ``delta_L`` µs (Figure 7 sweeps)."""
+        return cls(delta_L=delta_L)
+
+    @classmethod
+    def added_occupancy(cls, delta_occ: float) -> "TuningKnobs":
+        """Dial only NIC occupancy up by ``delta_occ`` µs (the Flash
+        study's parameter; an extension beyond the paper's sweeps)."""
+        return cls(delta_occ=delta_occ)
+
+    @classmethod
+    def bulk_bandwidth(cls, mb_per_s: float,
+                       base: LogGPParams) -> "TuningKnobs":
+        """Dial ``G`` so the bulk bandwidth becomes ``mb_per_s`` MB/s.
+
+        Used for the Figure 8 sweep ("maximum available bulk transfer
+        bandwidth").  Requesting more bandwidth than the baseline provides
+        yields the baseline (the apparatus can only slow the machine).
+        """
+        if mb_per_s <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {mb_per_s}")
+        target_G = 1.0 / mb_per_s
+        return cls(delta_G=max(0.0, target_G - base.Gap))
+
+    # -- effective parameters ---------------------------------------------
+    def effective(self, base: LogGPParams) -> LogGPParams:
+        """The LogGP parameters of the dialed machine (for reporting)."""
+        return base.with_changes(
+            latency=base.latency + self.delta_L,
+            send_overhead=base.send_overhead + self.delta_o,
+            recv_overhead=base.recv_overhead + self.delta_o,
+            gap=base.gap + self.delta_g,
+            Gap=base.Gap + self.delta_G,
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the non-zero dials."""
+        parts = []
+        if self.delta_o:
+            parts.append(f"+o={self.delta_o}us")
+        if self.delta_g:
+            parts.append(f"+g={self.delta_g}us")
+        if self.delta_L:
+            parts.append(f"+L={self.delta_L}us")
+        if self.delta_G:
+            parts.append(f"+G={self.delta_G}us/B")
+        if self.delta_occ:
+            parts.append(f"+occ={self.delta_occ}us")
+        return " ".join(parts) if parts else "baseline"

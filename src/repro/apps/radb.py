@@ -1,0 +1,101 @@
+"""Radb: the bulk-message restructuring of radix sort.
+
+Identical to :class:`~repro.apps.radix.RadixSort` except for the
+distribution phase: after the global histogram, each processor groups
+its keys by *destination processor* and ships each group as a single
+bulk message of (position, key) pairs; the destination's handler
+scatters them into its local block.  Per pass, each processor sends at
+most ``P - 1`` bulk messages instead of one short message per key
+(Section 4.1's "Radb").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Generator, List
+
+import numpy as np
+
+from repro.am.layer import HandlerTable
+from repro.apps.radix import RadixSort
+from repro.gas.runtime import Proc
+
+__all__ = ["RadixBulk"]
+
+#: Wire bytes per routed (position, key) pair.
+PAIR_BYTES = 8
+
+
+class RadixBulk(RadixSort):
+    """Bulk-message radix sort (the paper's ``Radb``)."""
+
+    name = "Radb"
+
+    #: Radb is the restructured-for-bulk program: its histogram phase
+    #: packs the whole counter table into a single message per ring hop,
+    #: unlike Radix's fine-grained cyclic shift.
+    DEFAULT_SCAN_BATCH = 256
+
+    @classmethod
+    def scaled(cls, scale: float = 1.0) -> "RadixBulk":
+        return cls(keys_per_proc=max(16, int(2048 * scale)))
+
+    def register_handlers(self, table: HandlerTable) -> None:
+        super().register_handlers(table)
+        table.register("radb_scatter", _scatter_handler)
+
+    def _one_pass(self, proc: Proc, state: dict, src, dst,
+                  pass_index: int) -> Generator:
+        shift = pass_index * self.radix_bits
+        mask = self.n_buckets - 1
+        local = proc.local(src)
+        digits = (local >> shift) & mask
+
+        counts = np.bincount(digits, minlength=self.n_buckets)
+        yield from proc.compute(proc.cost.keys(len(local)))
+
+        prefix_lower, totals = yield from self._global_histogram(
+            proc, state, counts, pass_index)
+        bucket_base = np.concatenate(([0], np.cumsum(totals)[:-1]))
+        my_base = bucket_base + prefix_lower
+        yield from proc.compute(proc.cost.ops(2 * self.n_buckets))
+
+        # Distribution: group (position, key) pairs by destination rank,
+        # then one bulk store per destination.
+        next_slot = my_base.copy()
+        groups = defaultdict(list)
+        dst_local = proc.local(dst)
+        dst_lo = dst.local_start(proc.rank)
+        for key, digit in zip(local.tolist(), digits.tolist()):
+            position = int(next_slot[digit])
+            next_slot[digit] += 1
+            owner, local_index = dst.owner_of(position)
+            if owner == proc.rank:
+                dst_local[local_index] = key
+            else:
+                groups[owner].append((local_index, key))
+        yield from proc.compute(proc.cost.keys(2 * len(local)))
+
+        completions = {"pending": 0}
+
+        def acked(_payload) -> None:
+            completions["pending"] -= 1
+
+        for owner in sorted(groups):
+            pairs = groups[owner]
+            completions["pending"] += 1
+            yield from proc.am.bulk_store(
+                owner, "radb_scatter",
+                (dst.array_id, pairs), PAIR_BYTES * len(pairs),
+                on_complete=acked)
+        yield from proc.am.wait_until(
+            lambda: completions["pending"] == 0)
+        yield from proc.barrier()
+
+
+def _scatter_handler(am, packet) -> None:
+    """Scatter a bulk batch of (local_index, key) pairs into storage."""
+    array_id, pairs = packet.payload
+    storage = am.host._arrays[array_id]
+    for local_index, key in pairs:
+        storage[local_index] = key

@@ -1,0 +1,23 @@
+"""Calibration microbenchmarks (Section 3.3 of the paper).
+
+* :mod:`repro.calibrate.signature` -- the LogP signature: issue a burst
+  of ``m`` request messages with a fixed computational delay Δ between
+  them and record the average initiation interval (Figure 3).  Short
+  bursts expose the send overhead; long bursts the gap; large Δ makes
+  the processor the bottleneck (``o_send + o_recv + Δ``); and half the
+  round-trip minus the overheads gives ``L``.
+* :mod:`repro.calibrate.bulk` -- bulk-message bursts of growing size to
+  find the saturated bulk bandwidth ``1/G``.
+* :mod:`repro.calibrate.calibration` -- the full desired-vs-measured
+  matrix of Table 2, demonstrating the dials move independently.
+"""
+
+from repro.calibrate.signature import (LogPSignature, logp_signature,
+                                       measure_parameters, round_trip_time)
+from repro.calibrate.bulk import calibrate_bulk_bandwidth
+from repro.calibrate.calibration import (CalibrationRow, calibrate_machine,
+                                         calibration_table)
+
+__all__ = ["LogPSignature", "logp_signature", "measure_parameters",
+           "round_trip_time", "calibrate_bulk_bandwidth",
+           "CalibrationRow", "calibrate_machine", "calibration_table"]

@@ -1,0 +1,17 @@
+"""The machine model: nodes, disks, and the cluster builder.
+
+* :mod:`repro.cluster.disk` -- the disk model used by NOW-sort (5.5 MB/s
+  per spindle, as measured in the paper's reference [4]).
+* :mod:`repro.cluster.node` -- a workstation: host CPU cost model, local
+  memory, attached disks.
+* :mod:`repro.cluster.machine` -- :class:`Cluster`, which wires nodes, a
+  fabric, and AM layers together and runs applications.
+* :mod:`repro.cluster.presets` -- named machine configurations
+  (Berkeley NOW, Intel Paragon, Meiko CS-2, TCP/IP LAN).
+"""
+
+from repro.cluster.disk import Disk
+from repro.cluster.node import CostModel, Node
+from repro.cluster.machine import Cluster, RunResult
+
+__all__ = ["Disk", "CostModel", "Node", "Cluster", "RunResult"]

@@ -1,0 +1,210 @@
+"""The cluster: nodes + fabric + AM layers, and the run orchestrator.
+
+A :class:`Cluster` captures a machine configuration (node count, baseline
+LogGP parameters, tuning dials, flow-control window, CPU cost model).
+Each :meth:`Cluster.run` builds a fresh simulator, wires everything up,
+executes one application to completion, and returns a :class:`RunResult`
+with the measured runtime and full communication statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.am.layer import AmLayer, DEFAULT_WINDOW, HandlerTable
+from repro.am.tuning import TuningKnobs
+from repro.cluster.node import CostModel, Node
+from repro.gas.runtime import Proc, register_gas_handlers
+from repro.instruments.balance import balance_matrix, render_balance
+from repro.instruments.stats import ClusterStats
+from repro.instruments.summary import CommunicationSummary, summarize
+from repro.network.loggp import LogGPParams
+from repro.network.wire import Wire
+from repro.sim import Simulator
+
+__all__ = ["Cluster", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application run on one machine configuration."""
+
+    app_name: str
+    n_nodes: int
+    params: LogGPParams
+    knobs: TuningKnobs
+    #: Measured runtime of the timed region, simulated microseconds.
+    runtime_us: float
+    stats: ClusterStats
+    #: Whatever the application's ``finalize`` returned.
+    output: Any = None
+    #: Diagnostic: total simulator events processed for this run.
+    events_processed: int = 0
+
+    @property
+    def runtime_s(self) -> float:
+        """Runtime in simulated seconds."""
+        return self.runtime_us / 1e6
+
+    def summary(self) -> CommunicationSummary:
+        """The Table 4 row for this run."""
+        return summarize(self.app_name, self.stats)
+
+    def balance(self):
+        """The Figure 4 matrix for this run (normalised message counts)."""
+        return balance_matrix(self.stats)
+
+    def render_balance(self) -> str:
+        """ASCII rendering of the Figure 4 matrix."""
+        return render_balance(self.stats, title=self.app_name)
+
+    def slowdown_vs(self, baseline: "RunResult") -> float:
+        """This run's slowdown relative to a baseline run."""
+        if baseline.runtime_us <= 0:
+            raise ValueError("baseline runtime is not positive")
+        return self.runtime_us / baseline.runtime_us
+
+
+class Cluster:
+    """A simulated cluster with dialable communication performance.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of workstations (the paper uses 16 and 32).
+    params:
+        Baseline LogGP parameters; default Berkeley NOW (Table 1).
+    knobs:
+        The apparatus dials; default all-zero (unmodified machine).
+    window:
+        Fixed flow-control window of outstanding messages per node.
+    cost:
+        Host CPU cost model; default approximates the UltraSPARC 170.
+    disks_per_node:
+        Spindles per node (NOW-sort uses two).
+    seed:
+        Master seed for deterministic workload generation.
+    run_limit_us:
+        Optional hard cap on simulated time per run; exceeding it raises
+        ``TimeoutError`` (used to bound livelocked configurations).
+    livelock_limit:
+        Per-rank failed-lock budget before ``LivelockError``.
+    """
+
+    def __init__(self, n_nodes: int,
+                 params: Optional[LogGPParams] = None,
+                 knobs: Optional[TuningKnobs] = None,
+                 window: int = DEFAULT_WINDOW,
+                 window_scope: str = "per-destination",
+                 fabric: str = "flat",
+                 cost: Optional[CostModel] = None,
+                 disks_per_node: int = 2,
+                 seed: int = 0,
+                 run_limit_us: Optional[float] = None,
+                 livelock_limit: int = 200_000) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.params = params if params is not None \
+            else LogGPParams.berkeley_now()
+        self.knobs = knobs if knobs is not None else TuningKnobs()
+        self.window = window
+        self.window_scope = window_scope
+        if fabric not in ("flat", "myrinet", "ethernet"):
+            raise ValueError(f"unknown fabric {fabric!r}")
+        self.fabric = fabric
+        self.cost = cost if cost is not None else CostModel()
+        self.disks_per_node = disks_per_node
+        self.seed = seed
+        self.run_limit_us = run_limit_us
+        self.livelock_limit = livelock_limit
+
+    def with_knobs(self, knobs: TuningKnobs) -> "Cluster":
+        """A cluster identical to this one but with different dials."""
+        return Cluster(self.n_nodes, params=self.params, knobs=knobs,
+                       window=self.window,
+                       window_scope=self.window_scope,
+                       fabric=self.fabric, cost=self.cost,
+                       disks_per_node=self.disks_per_node, seed=self.seed,
+                       run_limit_us=self.run_limit_us,
+                       livelock_limit=self.livelock_limit)
+
+    # -- running applications -------------------------------------------------
+    def run(self, app: "Application",
+            tracer: Optional["MessageTracer"] = None  # noqa: F821
+            ) -> RunResult:
+        """Execute ``app`` once on this configuration.
+
+        Passing a :class:`~repro.instruments.trace.MessageTracer`
+        records every message's send/inject/deliver/handle timeline.
+        """
+        sim = Simulator()
+        stats = ClusterStats(self.n_nodes)
+        if self.fabric == "myrinet":
+            from repro.network.topology import SwitchedFabric
+            wire = SwitchedFabric(
+                sim, hop_latency=self.params.latency / 3.0,
+                n_hosts=max(self.n_nodes, 1))
+        elif self.fabric == "ethernet":
+            from repro.network.ethernet import SharedMediumFabric
+            wire = SharedMediumFabric(sim)
+        else:
+            wire = Wire(sim, self.params.latency)
+        table = HandlerTable()
+        register_gas_handlers(table)
+        app.configure(self.n_nodes, self.seed)
+        app.register_handlers(table)
+
+        procs: List[Proc] = []
+        for node_id in range(self.n_nodes):
+            node = Node(sim, node_id, self.cost,
+                        n_disks=self.disks_per_node)
+            am = AmLayer(sim, node_id, self.params, self.knobs, wire,
+                         table, window=self.window,
+                         window_scope=self.window_scope, stats=stats,
+                         tracer=tracer)
+            proc = Proc(sim, node_id, self.n_nodes, node, am, stats=stats,
+                        seed=self.seed,
+                        livelock_limit=self.livelock_limit)
+            am.host = proc
+            procs.append(proc)
+
+        drivers = [
+            sim.process(self._drive(app, proc, stats),
+                        name=f"rank{proc.rank}")
+            for proc in procs
+        ]
+        done = sim.all_of(drivers)
+        sim.run(until=self.run_limit_us, stop_event=done)
+
+        output = app.finalize(procs)
+        return RunResult(
+            app_name=app.name,
+            n_nodes=self.n_nodes,
+            params=self.params,
+            knobs=self.knobs,
+            runtime_us=stats.runtime_us,
+            stats=stats,
+            output=output,
+            events_processed=sim.events_processed,
+        )
+
+    def _drive(self, app: "Application", proc: Proc,  # noqa: F821
+               stats: ClusterStats):
+        """Per-rank driver: untimed setup, timed region, teardown."""
+        yield from app.setup_rank(proc)
+        yield from proc.barrier()
+        if proc.rank == 0:
+            stats.start_measurement(proc.sim.now)
+        yield from app.run_rank(proc)
+        yield from proc.sync()
+        yield from proc.am.drain()
+        yield from proc.barrier()
+        if proc.rank == 0:
+            stats.stop_measurement(proc.sim.now)
+
+    def describe(self) -> str:
+        """One-line summary of the configuration."""
+        return (f"Cluster(P={self.n_nodes}, {self.params.describe()}, "
+                f"{self.knobs.describe()}, window={self.window})")

@@ -1,0 +1,28 @@
+"""Named machine configurations (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.network.loggp import LogGPParams
+
+__all__ = ["MACHINE_PRESETS", "preset"]
+
+#: The machines of Table 1, plus the TCP/IP LAN end point the overhead
+#: sweep extrapolates to (Section 5.1).
+MACHINE_PRESETS: Dict[str, LogGPParams] = {
+    "berkeley-now": LogGPParams.berkeley_now(),
+    "intel-paragon": LogGPParams.intel_paragon(),
+    "meiko-cs2": LogGPParams.meiko_cs2(),
+    "lan-tcp": LogGPParams.lan_tcp(),
+}
+
+
+def preset(name: str) -> LogGPParams:
+    """Look up a machine preset by name."""
+    try:
+        return MACHINE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINE_PRESETS))
+        raise KeyError(f"unknown machine {name!r}; known: {known}") \
+            from None

@@ -1,0 +1,98 @@
+"""A software-managed read cache over a global array.
+
+The paper's applications do not get hardware coherence — "a number of
+the applications perform application-specific software caching" (P-Ray
+and Barnes manage fixed-size caches of remote objects; Barnes also
+caches tree cells during the read-only force phase).  This is that
+pattern, extracted: a per-processor LRU cache of remote elements,
+fetched with bulk gets, with hit/miss accounting.
+
+The cache is only correct while the cached region is read-only (as in
+P-Ray's scene and Barnes' interaction phase); call :meth:`invalidate`
+at phase boundaries when the underlying data changes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Generator
+
+from repro.gas.memory import GlobalArray
+
+__all__ = ["SoftwareCache"]
+
+
+class SoftwareCache:
+    """Fixed-capacity LRU cache of one global array's remote elements.
+
+    Parameters
+    ----------
+    array:
+        The (read-only while cached) global array.
+    capacity:
+        Maximum cached elements; the oldest unused entry is evicted.
+    """
+
+    def __init__(self, array: GlobalArray, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.array = array
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.local_accesses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all remote accesses (local accesses excluded)."""
+        remote = self.hits + self.misses
+        return self.hits / remote if remote else 0.0
+
+    def read(self, proc: "Proc", index: int) -> Generator:  # noqa: F821
+        """Cached blocking read of ``array[index]``.
+
+        Local elements go straight to memory (a processor never caches
+        its own storage); remote hits cost a couple of table ops;
+        remote misses do a bulk get and insert with LRU eviction.
+        """
+        owner, local_index = self.array.owner_of(index)
+        if owner == proc.rank:
+            self.local_accesses += 1
+            yield from proc.compute(proc.cost.ops(1))
+            return proc.local(self.array)[local_index]
+        if index in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(index)
+            yield from proc.compute(proc.cost.ops(2))
+            return self._entries[index]
+        self.misses += 1
+        values = yield from proc.bulk_get(self.array, index, 1)
+        value = values[0]
+        self._entries[index] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def invalidate(self, index: int = None) -> None:
+        """Drop one entry (or everything) when the data changes."""
+        if index is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(index, None)
+
+    def stats_row(self) -> dict:
+        """Flat summary for reporting."""
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 3),
+        }

@@ -1,0 +1,106 @@
+"""Distributed global arrays (the Split-C spread array equivalent).
+
+A :class:`GlobalArray` is declared collectively (every rank calls
+:meth:`~repro.gas.runtime.Proc.allocate` in the same order); each rank
+stores its local part as a numpy array.  Element ownership follows a
+block or cyclic layout.  Reads, writes, and bulk transfers on the array
+go through the owning node's Active Message handlers, so every remote
+access pays the full LogGP cost.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GlobalArray", "ITEM_BYTES"]
+
+#: Simulated size of one array element on the wire (32-bit words, as the
+#: paper's sort keys).
+ITEM_BYTES = 4
+
+
+class GlobalArray:
+    """Metadata of a distributed array; storage lives on each rank.
+
+    Do not construct directly — use ``proc.allocate(length, ...)``.
+    """
+
+    def __init__(self, array_id: int, length: int, n_ranks: int,
+                 layout: str = "block", dtype: str = "int64",
+                 item_bytes: int = ITEM_BYTES, name: str = "") -> None:
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        if layout not in ("block", "cyclic"):
+            raise ValueError(f"unknown layout {layout!r}")
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.array_id = array_id
+        self.length = length
+        self.n_ranks = n_ranks
+        self.layout = layout
+        self.dtype = dtype
+        self.item_bytes = item_bytes
+        self.name = name or f"garray{array_id}"
+        # Block layout: first `remainder` ranks get `base + 1` elements.
+        self._base = length // n_ranks
+        self._remainder = length % n_ranks
+
+    # -- ownership ---------------------------------------------------------
+    def local_length(self, rank: int) -> int:
+        """Number of elements rank ``rank`` stores."""
+        if self.layout == "block":
+            return self._base + (1 if rank < self._remainder else 0)
+        count = self.length // self.n_ranks
+        if rank < self.length % self.n_ranks:
+            count += 1
+        return count
+
+    def local_start(self, rank: int) -> int:
+        """Global index of rank's first element (block layout only)."""
+        if self.layout != "block":
+            raise ValueError("local_start is only defined for block layout")
+        return rank * self._base + min(rank, self._remainder)
+
+    def owner_of(self, index: int) -> Tuple[int, int]:
+        """``(owner_rank, local_index)`` for global ``index``."""
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"index {index} out of range for {self.name}"
+                f"[{self.length}]")
+        if self.layout == "cyclic":
+            return index % self.n_ranks, index // self.n_ranks
+        # Block layout.
+        wide = self._base + 1
+        boundary = self._remainder * wide
+        if index < boundary:
+            return index // wide, index % wide
+        offset = index - boundary
+        return (self._remainder + offset // self._base
+                if self._base else self._remainder,
+                offset % self._base if self._base else 0)
+
+    def owner_of_range(self, start: int, count: int) -> Tuple[int, int]:
+        """Owner of a contiguous run; the run must not cross ranks."""
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        first_owner, first_local = self.owner_of(start)
+        last_owner, _last_local = self.owner_of(start + count - 1)
+        if first_owner != last_owner:
+            raise ValueError(
+                f"range [{start}, {start + count}) of {self.name} spans "
+                f"ranks {first_owner}..{last_owner}; split the transfer")
+        return first_owner, first_local
+
+    def make_local_storage(self, rank: int) -> np.ndarray:
+        """Allocate this rank's backing store."""
+        return np.zeros(self.local_length(rank), dtype=self.dtype)
+
+    def transfer_bytes(self, count: int) -> int:
+        """Wire size of ``count`` elements."""
+        return max(1, count * self.item_bytes)
+
+    def __repr__(self) -> str:
+        return (f"<GlobalArray {self.name} len={self.length} "
+                f"{self.layout} over {self.n_ranks} ranks>")

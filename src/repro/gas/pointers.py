@@ -1,0 +1,82 @@
+"""Global pointers — Split-C's signature abstraction.
+
+A Split-C global pointer names a (processor, local address) pair; it can
+be dereferenced from anywhere (paying the full communication cost when
+remote), compared, and advanced with pointer arithmetic.  Here a
+:class:`GlobalRef` names an element of a :class:`~repro.gas.memory.
+GlobalArray`; arithmetic follows the array's layout, so ``ref + 1`` on a
+cyclic array hops to the next processor, exactly like a spread pointer
+in Split-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.gas.memory import GlobalArray
+
+__all__ = ["GlobalRef"]
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """A global pointer into a distributed array."""
+
+    array: GlobalArray
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.array.length:
+            raise IndexError(
+                f"global pointer outside {self.array.name}"
+                f"[{self.array.length}]: {self.index}")
+
+    # -- locality -----------------------------------------------------------
+    @property
+    def owner(self) -> int:
+        """The processor whose memory holds the referent."""
+        owner, _local = self.array.owner_of(self.index)
+        return owner
+
+    @property
+    def local_index(self) -> int:
+        """Offset of the referent within the owner's local part."""
+        _owner, local = self.array.owner_of(self.index)
+        return local
+
+    def is_local_to(self, rank: int) -> bool:
+        """Whether dereferencing from ``rank`` stays in local memory."""
+        return self.owner == rank
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, offset: int) -> "GlobalRef":
+        return GlobalRef(self.array, self.index + offset)
+
+    def __sub__(self, other) -> Any:
+        if isinstance(other, GlobalRef):
+            if other.array.array_id != self.array.array_id:
+                raise ValueError(
+                    "pointer difference across different arrays")
+            return self.index - other.index
+        return GlobalRef(self.array, self.index - other)
+
+    def __lt__(self, other: "GlobalRef") -> bool:
+        if other.array.array_id != self.array.array_id:
+            raise ValueError("pointer comparison across arrays")
+        return self.index < other.index
+
+    # -- dereference -----------------------------------------------------------
+    def read(self, proc: "Proc") -> Generator:  # noqa: F821
+        """Blocking dereference (``x := *p`` in Split-C)."""
+        value = yield from proc.read(self.array, self.index)
+        return value
+
+    def write(self, proc: "Proc", value: Any,  # noqa: F821
+              mode: str = "put") -> Generator:
+        """Split-phase assignment (``*p := x``); see ``proc.sync()``."""
+        yield from proc.write(self.array, self.index, value, mode=mode)
+
+    def __repr__(self) -> str:
+        return (f"<GlobalRef {self.array.name}[{self.index}] "
+                f"on rank {self.owner}>")

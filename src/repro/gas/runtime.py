@@ -1,0 +1,349 @@
+"""The per-rank SPMD execution context.
+
+A :class:`Proc` is what application code programs against: it bundles the
+rank id, the node (CPU cost model, disks), the Active Message endpoint,
+the global-address-space operations, collectives, and locks.  One Proc
+exists per node per run; the application's ``run_rank(proc)`` generator
+executes as that node's host process.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Dict, Generator, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.am.layer import AmLayer, HandlerTable
+from repro.cluster.node import Node
+from repro.gas import collectives, sync
+from repro.gas.memory import GlobalArray
+from repro.gas.sync import DistributedLock
+from repro.instruments.stats import ClusterStats
+from repro.sim import Simulator
+
+__all__ = ["Proc", "LivelockError", "register_gas_handlers"]
+
+#: Default per-rank cap on failed lock attempts before a run is declared
+#: livelocked (the paper reports Barnes "does not complete" past a point).
+DEFAULT_LIVELOCK_LIMIT = 200_000
+
+
+class LivelockError(RuntimeError):
+    """A run exceeded its failed-lock-attempt budget (Barnes livelock)."""
+
+
+class Proc:
+    """One SPMD rank: the application-facing API of the whole substrate."""
+
+    def __init__(self, sim: Simulator, rank: int, n_ranks: int, node: Node,
+                 am: AmLayer, stats: Optional[ClusterStats] = None,
+                 seed: int = 0,
+                 livelock_limit: int = DEFAULT_LIVELOCK_LIMIT) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self.node = node
+        self.am = am
+        self.stats = stats
+        self.livelock_limit = livelock_limit
+        #: Deterministic per-rank random stream for application use.
+        self.rng = random.Random(seed * 1_000_003 + rank)
+        #: Application-local scratch space (handlers reach it as
+        #: ``am.host.state``).
+        self.state: Dict[str, Any] = {}
+        # Global address space bookkeeping.
+        self._arrays: Dict[int, np.ndarray] = {}
+        self._array_meta: Dict[int, GlobalArray] = {}
+        self._next_array_id = 0
+        self._pending_writes = 0
+        # Collectives and locks.
+        self._epochs: defaultdict = defaultdict(int)
+        self.barrier_tokens: Set[tuple] = set()
+        self.collective_box: Dict[tuple, Any] = {}
+        self.lock_table: Dict[int, bool] = {}
+        self._failed_locks = 0
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def cost(self):
+        """The node's CPU cost model."""
+        return self.node.cost
+
+    def next_epoch(self, kind: str) -> int:
+        """Advance and return the epoch counter for a collective type."""
+        self._epochs[kind] += 1
+        return self._epochs[kind]
+
+    # -- computation -----------------------------------------------------------
+    def compute(self, us: float,
+                poll_every_us: Optional[float] = None) -> Generator:
+        """Charge ``us`` microseconds of local computation.
+
+        With ``poll_every_us`` the computation is chopped into chunks with
+        a network poll between chunks, the way long Split-C compute loops
+        service incoming requests.
+        """
+        if us < 0:
+            raise ValueError(f"negative compute time: {us}")
+        self.node.compute_us += us
+        if poll_every_us is None or poll_every_us >= us:
+            if us > 0:
+                yield self.sim.timeout(us)
+            return
+        if poll_every_us <= 0:
+            raise ValueError("poll_every_us must be > 0")
+        remaining = us
+        while remaining > 0:
+            chunk = min(poll_every_us, remaining)
+            yield self.sim.timeout(chunk)
+            remaining -= chunk
+            yield from self.am.poll()
+
+    def poll(self) -> Generator:
+        """Service any pending incoming messages."""
+        yield from self.am.poll()
+
+    # -- global address space ----------------------------------------------------
+    def allocate(self, length: int, layout: str = "block",
+                 dtype: str = "int64", item_bytes: int = 4,
+                 name: str = "") -> GlobalArray:
+        """Collectively declare a global array (all ranks, same order)."""
+        array_id = self._next_array_id
+        self._next_array_id += 1
+        meta = GlobalArray(array_id, length, self.n_ranks, layout=layout,
+                           dtype=dtype, item_bytes=item_bytes, name=name)
+        self._array_meta[array_id] = meta
+        self._arrays[array_id] = meta.make_local_storage(self.rank)
+        return meta
+
+    def local(self, array: GlobalArray) -> np.ndarray:
+        """This rank's local part of ``array`` (direct numpy access)."""
+        return self._arrays[array.array_id]
+
+    def read(self, array: GlobalArray, index: int) -> Generator:
+        """Blocking read of a global element (Split-C ``x := g[i]``)."""
+        owner, local_index = array.owner_of(index)
+        if owner == self.rank:
+            yield from self.compute(self.cost.ops(1))
+            return self._arrays[array.array_id][local_index]
+        value = yield from self.am.rpc(
+            owner, "_gas_read", (array.array_id, local_index),
+            is_read=True)
+        return value
+
+    def write(self, array: GlobalArray, index: int, value: Any,
+              mode: str = "put") -> Generator:
+        """Pipelined (split-phase) write; completion observed by
+        :meth:`sync`.  ``mode='add'`` accumulates, ``mode='min'`` keeps
+        the smaller value (monotone hooking for connected components)."""
+        if mode not in ("put", "add", "min"):
+            raise ValueError(f"unknown write mode {mode!r}")
+        owner, local_index = array.owner_of(index)
+        if owner == self.rank:
+            _apply_write(self._arrays[array.array_id], local_index,
+                         value, mode)
+            yield from self.compute(self.cost.ops(1))
+            return
+        self._pending_writes += 1
+        yield from self.am.send_request(
+            owner, "_gas_write",
+            (array.array_id, local_index, value, mode),
+            on_reply=self._write_acked)
+
+    def _write_acked(self, _payload: Any) -> None:
+        self._pending_writes -= 1
+
+    @property
+    def pending_writes(self) -> int:
+        """Writes issued but not yet acknowledged."""
+        return self._pending_writes
+
+    def sync(self) -> Generator:
+        """Wait for all outstanding writes to be acknowledged
+        (Split-C's ``sync()``)."""
+        yield from self.am.wait_until(lambda: self._pending_writes == 0)
+
+    def bulk_get(self, array: GlobalArray, start: int,
+                 count: int) -> Generator:
+        """Blocking bulk read of a contiguous remote run."""
+        owner, local_start = array.owner_of_range(start, count)
+        if owner == self.rank:
+            storage = self._arrays[array.array_id]
+            values = storage[local_start:local_start + count].copy()
+            yield from self.compute(
+                self.cost.copy_bytes(count * array.item_bytes))
+            return values
+        reply = yield from self.am.bulk_rpc(
+            owner, "_gas_bulk_get", (array.array_id, local_start, count))
+        payload, _nbytes = reply
+        return payload
+
+    def bulk_put(self, array: GlobalArray, start: int,
+                 values: Iterable[Any]) -> Generator:
+        """Split-phase bulk write of a contiguous run; see :meth:`sync`."""
+        values = np.asarray(values)
+        count = len(values)
+        owner, local_start = array.owner_of_range(start, count)
+        if owner == self.rank:
+            storage = self._arrays[array.array_id]
+            storage[local_start:local_start + count] = values
+            yield from self.compute(
+                self.cost.copy_bytes(count * array.item_bytes))
+            return
+        self._pending_writes += 1
+        yield from self.am.bulk_store(
+            owner, "_gas_bulk_put",
+            (array.array_id, local_start, values),
+            array.transfer_bytes(count),
+            on_complete=self._write_acked)
+
+    # -- collectives -----------------------------------------------------------
+    def barrier(self) -> Generator:
+        """Dissemination barrier over all ranks."""
+        yield from collectives.barrier(self)
+
+    def broadcast(self, value: Any = None, root: int = 0, size: int = 32,
+                  bulk: bool = False) -> Generator:
+        """Broadcast from ``root``; returns the value on every rank."""
+        result = yield from collectives.broadcast(
+            self, value, root=root, size=size, bulk=bulk)
+        return result
+
+    def reduce(self, value: Any, op, root: int = 0,
+               size: int = 32) -> Generator:
+        """Tree reduction to ``root`` (others receive ``None``)."""
+        result = yield from collectives.reduce(
+            self, value, op, root=root, size=size)
+        return result
+
+    def allreduce(self, value: Any, op, size: int = 32) -> Generator:
+        """Reduction whose result lands on every rank."""
+        result = yield from collectives.allreduce(self, value, op, size=size)
+        return result
+
+    # -- locks -------------------------------------------------------------------
+    def lock(self, lock: DistributedLock,
+             retry_backoff_us: float = 1.0) -> Generator:
+        """Blocking lock acquire (test-and-set with retry)."""
+        yield from sync.acquire(self, lock, retry_backoff_us)
+
+    def unlock(self, lock: DistributedLock) -> Generator:
+        """Release a held lock."""
+        yield from sync.release(self, lock)
+
+    def note_failed_lock(self) -> None:
+        """Record a denied lock attempt; abort the run past the limit."""
+        self._failed_locks += 1
+        if self.stats is not None:
+            self.stats.on_failed_lock(self.rank)
+        if self._failed_locks > self.livelock_limit:
+            raise LivelockError(
+                f"rank {self.rank} exceeded {self.livelock_limit} failed "
+                "lock attempts; declaring livelock (the paper reports "
+                "Barnes does not complete past this regime)")
+
+    # -- misc ----------------------------------------------------------------------
+    def disk(self, index: int = 0):
+        """The node's ``index``-th disk."""
+        return self.node.disk(index)
+
+    def __repr__(self) -> str:
+        return f"<Proc rank={self.rank}/{self.n_ranks}>"
+
+
+# ---------------------------------------------------------------------------
+# Global-address-space Active Message handlers.
+# ---------------------------------------------------------------------------
+
+def _gas_read(am: AmLayer, packet) -> Generator:
+    """Serve a blocking remote read: reply with the element value."""
+    proc: Proc = am.host
+    array_id, local_index = packet.payload
+    value = proc._arrays[array_id][local_index]
+    yield from am.reply(value)
+
+
+def _apply_write(storage, local_index: int, value: Any, mode: str) -> None:
+    if mode == "add":
+        storage[local_index] += value
+    elif mode == "min":
+        if value < storage[local_index]:
+            storage[local_index] = value
+    else:
+        storage[local_index] = value
+
+
+def _gas_write(am: AmLayer, packet) -> Generator:
+    """Apply a remote write/accumulate/min; the auto-ack completes it."""
+    proc: Proc = am.host
+    array_id, local_index, value, mode = packet.payload
+    _apply_write(proc._arrays[array_id], local_index, value, mode)
+    return
+    yield  # pragma: no cover
+
+
+def _gas_bulk_get(am: AmLayer, packet) -> Generator:
+    """Serve a bulk get: reply with a bulk transfer of the run."""
+    proc: Proc = am.host
+    array_id, local_start, count = packet.payload
+    meta = proc._array_meta[array_id]
+    storage = proc._arrays[array_id]
+    values = storage[local_start:local_start + count].copy()
+    yield from am.reply_bulk(values, meta.transfer_bytes(count))
+
+
+def _gas_bulk_put(am: AmLayer, packet) -> Generator:
+    """Land a bulk put into local storage; the auto-ack completes it."""
+    proc: Proc = am.host
+    array_id, local_start, values = packet.payload
+    storage = proc._arrays[array_id]
+    storage[local_start:local_start + len(values)] = values
+    return
+    yield  # pragma: no cover
+
+
+def _gas_barrier(am: AmLayer, packet) -> None:
+    """Record a dissemination-barrier token."""
+    am.host.barrier_tokens.add(packet.payload)
+
+
+def _gas_bcast(am: AmLayer, packet) -> None:
+    """Deposit a broadcast value for the waiting rank."""
+    epoch, value = packet.payload
+    am.host.collective_box[("bcast", epoch)] = value
+
+
+def _gas_reduce(am: AmLayer, packet) -> None:
+    """Deposit a reduction partial for the combining rank."""
+    epoch, rnd, value = packet.payload
+    am.host.collective_box[("reduce", epoch, rnd)] = value
+
+
+def _gas_lock_try(am: AmLayer, packet) -> Generator:
+    """Test-and-set at the lock's home; reply grant or denial."""
+    proc: Proc = am.host
+    lock_id = packet.payload
+    held = proc.lock_table.get(lock_id, False)
+    if not held:
+        proc.lock_table[lock_id] = True
+    yield from am.reply(not held)
+
+
+def _gas_lock_release(am: AmLayer, packet) -> None:
+    """Clear a lock at its home node."""
+    am.host.lock_table[packet.payload] = False
+
+
+def register_gas_handlers(table: HandlerTable) -> None:
+    """Install the reserved ``_gas_*`` handlers used by :class:`Proc`."""
+    table.register("_gas_read", _gas_read)
+    table.register("_gas_write", _gas_write)
+    table.register("_gas_bulk_get", _gas_bulk_get)
+    table.register("_gas_bulk_put", _gas_bulk_put)
+    table.register("_gas_barrier", _gas_barrier)
+    table.register("_gas_bcast", _gas_bcast)
+    table.register("_gas_reduce", _gas_reduce)
+    table.register("_gas_lock_try", _gas_lock_try)
+    table.register("_gas_lock_release", _gas_lock_release)

@@ -1,0 +1,28 @@
+"""The experiment harness: regenerates every table and figure.
+
+* :mod:`repro.harness.suite` -- standard application suite construction
+  with fixed-total-input scaling across cluster sizes (the paper runs
+  the same inputs on 16 and 32 nodes).
+* :mod:`repro.harness.sweeps` -- LogGP parameter sweeps producing
+  slowdown curves (Figures 5-8).
+* :mod:`repro.harness.experiments` -- one entry point per table/figure
+  of the paper's evaluation.
+* :mod:`repro.harness.report` -- ASCII tables and line plots.
+"""
+
+from repro.harness.suite import suite_for, REFERENCE_NODES
+from repro.harness.sweeps import (SweepPoint, SweepResult, run_sweep,
+                                  overhead_sweep, gap_sweep, latency_sweep,
+                                  bulk_bandwidth_sweep)
+from repro.harness.report import ascii_plot, render_table
+from repro.harness.config import ExperimentConfig
+from repro.harness.surface import sensitivity_surface, overhead_gap_surface
+from repro.harness.export import (write_matrix_csv, write_rows_csv,
+                                  write_series_csv)
+
+__all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
+           "run_sweep", "overhead_sweep", "gap_sweep", "latency_sweep",
+           "bulk_bandwidth_sweep", "ascii_plot", "render_table",
+           "ExperimentConfig", "sensitivity_surface",
+           "overhead_gap_surface", "write_rows_csv", "write_matrix_csv",
+           "write_series_csv"]

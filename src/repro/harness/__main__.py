@@ -1,0 +1,87 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Usage::
+
+    python -m repro.harness                 # everything, default scale
+    python -m repro.harness --scale 0.25 --nodes 16 --out results/
+    python -m repro.harness --only table2 figure7
+
+Each artifact is printed and, with ``--out``, also written to
+``<out>/<artifact>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.harness import experiments
+
+#: artifact name -> callable(n_nodes, scale) -> object with .render().
+ARTIFACTS = {
+    "table1": lambda nodes, scale: experiments.table1_baseline_params(),
+    "figure3": lambda nodes, scale: experiments.figure3_signature(),
+    "table2": lambda nodes, scale: experiments.table2_calibration(),
+    "table3": lambda nodes, scale: experiments.table3_baseline_runtimes(
+        node_counts=(nodes // 2, nodes), scale=scale),
+    "figure4": lambda nodes, scale: experiments.figure4_balance(
+        n_nodes=nodes, scale=scale),
+    "table4": lambda nodes, scale: experiments.table4_comm_summary(
+        n_nodes=nodes, scale=scale),
+    "figure5": lambda nodes, scale: experiments.figure5_overhead(
+        n_nodes=nodes, scale=scale),
+    "table5": lambda nodes, scale: experiments.table5_overhead_model(
+        n_nodes=nodes, scale=scale),
+    "figure6": lambda nodes, scale: experiments.figure6_gap(
+        n_nodes=nodes, scale=scale),
+    "table6": lambda nodes, scale: experiments.table6_gap_model(
+        n_nodes=nodes, scale=scale),
+    "figure7": lambda nodes, scale: experiments.figure7_latency(
+        n_nodes=nodes, scale=scale),
+    "figure8": lambda nodes, scale: experiments.figure8_bulk(
+        n_nodes=nodes, scale=scale),
+    "surface": lambda nodes, scale: _surface(nodes, scale),
+}
+
+
+def _surface(nodes, scale):
+    from repro.harness.surface import overhead_gap_surface
+    return overhead_gap_surface(n_nodes=min(nodes, 16), scale=scale)
+
+
+def main(argv=None) -> int:
+    """Parse arguments, regenerate the selected artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("--nodes", type=int, default=32,
+                        help="cluster size (default 32, as the paper)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="input scale (default 0.5)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to write <artifact>.txt files")
+    parser.add_argument("--only", nargs="*", default=None,
+                        choices=sorted(ARTIFACTS),
+                        help="subset of artifacts to regenerate")
+    args = parser.parse_args(argv)
+
+    selected = args.only if args.only else list(ARTIFACTS)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        started = time.time()
+        artifact = ARTIFACTS[name](args.nodes, args.scale)
+        text = artifact.render()
+        elapsed = time.time() - started
+        print(f"\n{'=' * 72}\n{name}  (regenerated in {elapsed:.1f}s)\n")
+        print(text)
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

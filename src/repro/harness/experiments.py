@@ -1,0 +1,409 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each function runs the necessary simulations and returns a structured
+result object with ``rows()`` / ``render()`` so the artifact can be
+regenerated as text (the benchmark suite calls these and asserts the
+qualitative shape).  Input scale and application subsets are
+parameters, so benchmarks can run quickly and users can crank fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import Application
+from repro.calibrate.bulk import calibrate_bulk_bandwidth
+from repro.calibrate.calibration import (CalibrationRow, calibration_table,
+                                         render_calibration)
+from repro.calibrate.signature import (LogPSignature, logp_signature,
+                                       measure_parameters)
+from repro.cluster.machine import Cluster, RunResult
+from repro.cluster.presets import MACHINE_PRESETS
+from repro.harness.report import ascii_plot, render_table
+from repro.harness.suite import suite_for
+from repro.harness.sweeps import (SweepResult, bulk_bandwidth_sweep,
+                                  gap_sweep, latency_sweep, overhead_sweep)
+from repro.instruments.balance import render_balance
+from repro.models.gap import BurstGapModel
+from repro.models.overhead import OverheadModel
+from repro.am.tuning import TuningKnobs
+from repro.network.loggp import LogGPParams
+
+__all__ = [
+    "table1_baseline_params", "figure3_signature", "table2_calibration",
+    "table3_baseline_runtimes", "figure4_balance", "table4_comm_summary",
+    "figure5_overhead", "table5_overhead_model", "figure6_gap",
+    "table6_gap_model", "figure7_latency", "figure8_bulk",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 -- baseline LogGP parameters of the machine presets.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1:
+    """Table 1's measured rows."""
+
+    rows_: List[dict]
+
+    def rows(self) -> List[dict]:
+        """Flat dict rows."""
+        return self.rows_
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(self.rows_, title="Table 1: baseline LogGP "
+                            "parameters (measured on the simulated "
+                            "machines)")
+
+
+def table1_baseline_params() -> Table1:
+    """Measure (o, g, L, 1/G) of every machine preset with the
+    microbenchmarks, as Table 1 reports them."""
+    rows = []
+    for name, params in MACHINE_PRESETS.items():
+        if name == "lan-tcp":
+            continue  # Table 1 lists the three real machines
+        measured = measure_parameters(params)
+        bulk = calibrate_bulk_bandwidth(params, sizes=(2048, 4096, 8192))
+        rows.append({
+            "Platform": name,
+            "o (us)": round(measured.overhead, 1),
+            "g (us)": round(measured.gap, 1),
+            "L (us)": round(measured.latency, 1),
+            "MB/s (1/G)": round(bulk.saturated_mb_s),
+        })
+    return Table1(rows_=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- the LogP signature.
+# ---------------------------------------------------------------------------
+
+def figure3_signature(desired_gap: float = 14.0) -> LogPSignature:
+    """The paper's example signature: g dialed to 14 µs, Δ ∈ {0, 10}."""
+    params = LogGPParams.berkeley_now()
+    knobs = TuningKnobs.added_gap(max(0.0, desired_gap - params.gap))
+    return logp_signature(params, knobs,
+                          burst_sizes=(1, 2, 4, 8, 16, 32, 64),
+                          deltas=(0.0, 10.0))
+
+
+# ---------------------------------------------------------------------------
+# Table 2 -- calibration of the dials.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2:
+    """Table 2's calibration rows."""
+
+    rows_: List[CalibrationRow]
+
+    def rows(self) -> List[dict]:
+        """Flat dict rows."""
+        return [r.as_row() for r in self.rows_]
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_calibration(self.rows_)
+
+
+def table2_calibration(**kwargs) -> Table2:
+    """Regenerate Table 2 (see :func:`repro.calibrate.calibration_table`)."""
+    return Table2(rows_=calibration_table(**kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Table 3 -- applications and base runtimes on 16 and 32 nodes.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table3:
+    """Table 3's measured base runtimes."""
+
+    runtimes: Dict[str, Dict[int, float]]  # app -> nodes -> runtime_us
+
+    def rows(self) -> List[dict]:
+        """Flat dict rows (one per application)."""
+        rows = []
+        for app_name, by_nodes in self.runtimes.items():
+            row = {"Program": app_name}
+            for nodes in sorted(by_nodes):
+                row[f"{nodes}-node time (ms)"] = round(
+                    by_nodes[nodes] / 1000.0, 2)
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(self.rows(), title="Table 3: base run times "
+                            "(fixed input per application)")
+
+
+def table3_baseline_runtimes(node_counts: Sequence[int] = (16, 32),
+                             scale: float = 1.0,
+                             names: Optional[Sequence[str]] = None,
+                             seed: int = 0) -> Table3:
+    """Run the suite at each cluster size with fixed total inputs."""
+    runtimes: Dict[str, Dict[int, float]] = {}
+    for n_nodes in node_counts:
+        cluster = Cluster(n_nodes=n_nodes, seed=seed)
+        for app in suite_for(n_nodes, scale=scale, names=names):
+            result = cluster.run(app)
+            runtimes.setdefault(app.name, {})[n_nodes] = result.runtime_us
+    return Table3(runtimes=runtimes)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 -- communication balance matrices.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure4:
+    """Figure 4's per-application run results."""
+
+    results: Dict[str, RunResult]
+
+    def matrices(self) -> Dict[str, "np.ndarray"]:  # noqa: F821
+        """Normalised balance matrix per application."""
+        return {name: result.balance()
+                for name, result in self.results.items()}
+
+    def render(self) -> str:
+        """ASCII greyscale matrices, one block per application."""
+        blocks = []
+        for name, result in self.results.items():
+            blocks.append(render_balance(result.stats, title=name))
+        return "\n\n".join(blocks)
+
+
+def figure4_balance(n_nodes: int = 32, scale: float = 1.0,
+                    names: Optional[Sequence[str]] = None,
+                    seed: int = 0) -> Figure4:
+    """Run the suite once and collect Figure 4's balance matrices."""
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    results = {}
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        results[app.name] = cluster.run(app)
+    return Figure4(results=results)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 -- communication summary.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table4:
+    """Table 4's per-application run results."""
+
+    results: Dict[str, RunResult]
+
+    def rows(self) -> List[dict]:
+        """One Table 4 row per application."""
+        return [result.summary().as_row()
+                for result in self.results.values()]
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(self.rows(), title="Table 4: communication "
+                            "summary (32-node configuration)")
+
+
+def table4_comm_summary(n_nodes: int = 32, scale: float = 1.0,
+                        names: Optional[Sequence[str]] = None,
+                        seed: int = 0) -> Table4:
+    """Run the suite once and collect Table 4's summaries."""
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    results = {}
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        results[app.name] = cluster.run(app)
+    return Table4(results=results)
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-8 -- the sensitivity studies.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SensitivityFigure:
+    """One sensitivity figure: a sweep per application."""
+
+    title: str
+    x_label: str
+    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, List[tuple]]:
+        """Per-application (value, slowdown) series."""
+        return {name: sweep.series()
+                for name, sweep in self.sweeps.items()}
+
+    def rows(self) -> List[dict]:
+        """All sweeps' rows, concatenated."""
+        rows = []
+        for sweep in self.sweeps.values():
+            rows.extend(sweep.as_rows())
+        return rows
+
+    def max_slowdown(self, app_name: str) -> Optional[float]:
+        """Largest completed slowdown for one application."""
+        series = self.sweeps[app_name].series()
+        return max(y for _x, y in series) if series else None
+
+    def render(self) -> str:
+        """ASCII plot of every application's slowdown curve."""
+        return ascii_plot(self.series(), title=self.title,
+                          x_label=self.x_label, y_label="slowdown")
+
+
+def figure5_overhead(n_nodes: int = 32, scale: float = 1.0,
+                     names: Optional[Sequence[str]] = None,
+                     overheads: Optional[Sequence[float]] = None,
+                     seed: int = 0, **kwargs) -> SensitivityFigure:
+    """Figure 5: sensitivity to overhead (run per node count)."""
+    figure = SensitivityFigure(
+        title=f"Figure 5 ({n_nodes} nodes): sensitivity to overhead",
+        x_label="overhead (us)")
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep_kwargs = dict(kwargs)
+        if overheads is not None:
+            sweep_kwargs["overheads"] = overheads
+        figure.sweeps[app.name] = overhead_sweep(app, n_nodes, seed=seed,
+                                                 **sweep_kwargs)
+    return figure
+
+
+def figure6_gap(n_nodes: int = 32, scale: float = 1.0,
+                names: Optional[Sequence[str]] = None,
+                gaps: Optional[Sequence[float]] = None,
+                seed: int = 0, **kwargs) -> SensitivityFigure:
+    """Figure 6: slowdown as a function of (absolute) gap."""
+    figure = SensitivityFigure(
+        title="Figure 6: sensitivity to gap", x_label="gap (us)")
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep_kwargs = dict(kwargs)
+        if gaps is not None:
+            sweep_kwargs["gaps"] = gaps
+        figure.sweeps[app.name] = gap_sweep(app, n_nodes, seed=seed,
+                                            **sweep_kwargs)
+    return figure
+
+
+def figure7_latency(n_nodes: int = 32, scale: float = 1.0,
+                    names: Optional[Sequence[str]] = None,
+                    latencies: Optional[Sequence[float]] = None,
+                    seed: int = 0, **kwargs) -> SensitivityFigure:
+    """Figure 7: slowdown as a function of (absolute) latency."""
+    figure = SensitivityFigure(
+        title="Figure 7: sensitivity to latency", x_label="latency (us)")
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep_kwargs = dict(kwargs)
+        if latencies is not None:
+            sweep_kwargs["latencies"] = latencies
+        figure.sweeps[app.name] = latency_sweep(app, n_nodes, seed=seed,
+                                                **sweep_kwargs)
+    return figure
+
+
+def figure8_bulk(n_nodes: int = 32, scale: float = 1.0,
+                 names: Optional[Sequence[str]] = None,
+                 bandwidths: Optional[Sequence[float]] = None,
+                 seed: int = 0, **kwargs) -> SensitivityFigure:
+    """Figure 8: slowdown as a function of available bulk bandwidth."""
+    figure = SensitivityFigure(
+        title="Figure 8: sensitivity to bulk bandwidth",
+        x_label="bulk bandwidth (MB/s)")
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep_kwargs = dict(kwargs)
+        if bandwidths is not None:
+            sweep_kwargs["bandwidths"] = bandwidths
+        figure.sweeps[app.name] = bulk_bandwidth_sweep(
+            app, n_nodes, seed=seed, **sweep_kwargs)
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# Tables 5 and 6 -- model predictions vs measurements.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ModelTable:
+    """Measured vs predicted runtimes along one sweep."""
+
+    title: str
+    parameter: str
+    rows_: List[dict]
+
+    def rows(self) -> List[dict]:
+        """Flat dict rows."""
+        return self.rows_
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        return render_table(self.rows_, title=self.title)
+
+    def prediction_error(self, app_name: str) -> List[float]:
+        """Relative error (pred - measured)/measured for completed
+        points of one app."""
+        errors = []
+        for row in self.rows_:
+            if row["app"] != app_name or row["measured_us"] == "N/A":
+                continue
+            errors.append((row["predicted_us"] - row["measured_us"])
+                          / row["measured_us"])
+        return errors
+
+
+def table5_overhead_model(n_nodes: int = 32, scale: float = 1.0,
+                          names: Optional[Sequence[str]] = None,
+                          overheads: Optional[Sequence[float]] = None,
+                          seed: int = 0, **kwargs) -> ModelTable:
+    """Table 5: the 2·m·Δo model against measured sweep runtimes."""
+    figure = figure5_overhead(n_nodes=n_nodes, scale=scale, names=names,
+                              overheads=overheads, seed=seed, **kwargs)
+    rows = []
+    for app_name, sweep in figure.sweeps.items():
+        baseline = sweep.baseline.result
+        model = OverheadModel(
+            base_runtime_us=baseline.runtime_us,
+            max_messages_per_proc=baseline.stats.max_messages_per_node)
+        base_o = sweep.points[0].value
+        for point in sweep.points:
+            delta_o = max(0.0, point.value - base_o)
+            rows.append({
+                "app": app_name,
+                "o (us)": point.value,
+                "measured_us": (round(point.runtime_us, 1)
+                                if point.completed else "N/A"),
+                "predicted_us": round(model.predict_runtime(delta_o), 1),
+            })
+    return ModelTable(title="Table 5: overhead model (r + 2 m do)",
+                      parameter="overhead", rows_=rows)
+
+
+def table6_gap_model(n_nodes: int = 32, scale: float = 1.0,
+                     names: Optional[Sequence[str]] = None,
+                     gaps: Optional[Sequence[float]] = None,
+                     seed: int = 0, **kwargs) -> ModelTable:
+    """Table 6: the burst gap model against measured sweep runtimes."""
+    figure = figure6_gap(n_nodes=n_nodes, scale=scale, names=names,
+                         gaps=gaps, seed=seed, **kwargs)
+    rows = []
+    for app_name, sweep in figure.sweeps.items():
+        baseline = sweep.baseline.result
+        model = BurstGapModel(
+            base_runtime_us=baseline.runtime_us,
+            max_messages_per_proc=baseline.stats.max_messages_per_node)
+        base_g = sweep.points[0].value
+        for point in sweep.points:
+            delta_g = max(0.0, point.value - base_g)
+            rows.append({
+                "app": app_name,
+                "g (us)": point.value,
+                "measured_us": (round(point.runtime_us, 1)
+                                if point.completed else "N/A"),
+                "predicted_us": round(model.predict_runtime(delta_g), 1),
+            })
+    return ModelTable(title="Table 6: burst gap model (r + m dg)",
+                      parameter="gap", rows_=rows)

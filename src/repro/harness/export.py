@@ -1,0 +1,72 @@
+"""CSV export of experiment results.
+
+Every experiment object exposes ``rows()`` (a list of flat dicts) or a
+matrix; these helpers write them as CSV files so results can be loaded
+into any plotting tool.  Only the standard library is used.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["write_rows_csv", "write_matrix_csv", "write_series_csv"]
+
+
+def write_rows_csv(rows: Sequence[dict],
+                   path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write dict rows to CSV; columns follow the first row's keys,
+    with any extra keys from later rows appended."""
+    path = pathlib.Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: List[str] = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_matrix_csv(matrix: np.ndarray,
+                     path: Union[str, pathlib.Path],
+                     label: str = "sender\\receiver") -> pathlib.Path:
+    """Write a P×P balance matrix (Figure 4) with rank headers."""
+    path = pathlib.Path(path)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got {matrix.shape}")
+    n_rows, n_cols = matrix.shape
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([label] + [str(j) for j in range(n_cols)])
+        for i in range(n_rows):
+            writer.writerow([str(i)] + [repr(float(v))
+                                        for v in matrix[i]])
+    return path
+
+
+def write_series_csv(series: Dict[str, List[tuple]],
+                     path: Union[str, pathlib.Path],
+                     x_label: str = "x") -> pathlib.Path:
+    """Write figure series ({label: [(x, y), ...]}) as long-form CSV
+    with columns (series, x, y)."""
+    path = pathlib.Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, "slowdown"])
+        for label, points in series.items():
+            for x, y in points:
+                writer.writerow([label, repr(float(x)),
+                                 repr(float(y))])
+    return path

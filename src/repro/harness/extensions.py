@@ -1,0 +1,217 @@
+"""Experiments beyond the paper's figures (extensions).
+
+Three studies the paper motivates but does not plot:
+
+* :func:`scaling_study` — how sensitivity to overhead changes with the
+  number of processors (Section 5.1's parallel-efficiency observation:
+  "speedup gets worse the greater the overhead" for programs with a
+  serial portion).
+* :func:`investment_study` — the closing trade-off of Section 5.5:
+  double the CPUs or halve the communication costs?
+* :func:`occupancy_study` — the Flash study's parameter (Section 6):
+  how NIC occupancy compares against host overhead of the same
+  magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import Cluster
+from repro.cluster.node import CostModel
+from repro.harness.report import render_table
+from repro.harness.suite import suite_for
+from repro.network.loggp import LogGPParams
+
+__all__ = ["scaling_study", "investment_study", "occupancy_study",
+           "ScalingStudy", "InvestmentStudy", "OccupancyStudy"]
+
+
+# ---------------------------------------------------------------------------
+# Scaling: sensitivity vs P.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScalingStudy:
+    """Per-P overhead sensitivity with the serial residual isolated.
+
+    The residual — measured dialed runtime over the busiest-processor
+    model's prediction (``r + 2·m·Δo``) — is the paper's serialization
+    effect made into a number: it grows with P for a program whose
+    serial phase is proportional to P (Radix's histogram), which is why
+    "parallel efficiency will decrease as overhead increases".
+    """
+
+    app_name: str
+    delta_o: float
+    #: node count -> (base µs, dialed µs, max messages/proc at base).
+    runtimes: Dict[int, tuple] = field(default_factory=dict)
+
+    def slowdown(self, n_nodes: int) -> float:
+        """Dialed over baseline runtime at one cluster size."""
+        base, dialed, _m = self.runtimes[n_nodes]
+        return dialed / base
+
+    def serial_residual(self, n_nodes: int) -> float:
+        """Measured over model-predicted runtime at Δo (>1 means the
+        simple model under-predicts: serialized work exists)."""
+        base, dialed, max_messages = self.runtimes[n_nodes]
+        predicted = base + 2.0 * max_messages * self.delta_o
+        return dialed / predicted
+
+    def residual_growth(self) -> float:
+        """Largest-P residual over smallest-P residual."""
+        node_counts = sorted(self.runtimes)
+        return (self.serial_residual(node_counts[-1])
+                / self.serial_residual(node_counts[0]))
+
+    def rows(self) -> List[dict]:
+        """One dict row per cluster size."""
+        return [{
+            "nodes": n,
+            "baseline (ms)": round(base / 1000, 2),
+            f"+{self.delta_o}us o (ms)": round(dialed / 1000, 2),
+            "slowdown": round(dialed / base, 2),
+            "serial residual": round(self.serial_residual(n), 3),
+        } for n, (base, dialed, _m) in sorted(self.runtimes.items())]
+
+    def render(self) -> str:
+        """ASCII rendering of the study."""
+        return render_table(
+            self.rows(),
+            title=f"Scaling study: {self.app_name}, overhead "
+                  f"sensitivity vs P (fixed total input)")
+
+
+def scaling_study(app_name: str = "Radix",
+                  node_counts: Sequence[int] = (8, 16, 32),
+                  delta_o: float = 100.0, scale: float = 1.0,
+                  seed: int = 0) -> ScalingStudy:
+    """Run one app at several cluster sizes, fixed total input, with and
+    without added overhead."""
+    study = ScalingStudy(app_name=app_name, delta_o=delta_o)
+    for n_nodes in node_counts:
+        app, = suite_for(n_nodes, scale=scale, names=[app_name])
+        base_cluster = Cluster(n_nodes=n_nodes, seed=seed)
+        dialed_cluster = base_cluster.with_knobs(
+            TuningKnobs.added_overhead(delta_o))
+        base_result = base_cluster.run(app)
+        # Rebuild the app so stale state never leaks between runs.
+        app, = suite_for(n_nodes, scale=scale, names=[app_name])
+        dialed = dialed_cluster.run(app).runtime_us
+        study.runtimes[n_nodes] = (
+            base_result.runtime_us, dialed,
+            base_result.stats.max_messages_per_node)
+    return study
+
+
+# ---------------------------------------------------------------------------
+# Investment: CPU vs communication.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InvestmentStudy:
+    app_name: str
+    n_nodes: int
+    runtimes: Dict[str, float] = field(default_factory=dict)  # µs
+
+    def speedup(self, design: str) -> float:
+        """Baseline runtime over a design's runtime."""
+        return self.runtimes["baseline"] / self.runtimes[design]
+
+    def rows(self) -> List[dict]:
+        """One dict row per design point."""
+        return [{
+            "design": design,
+            "runtime (ms)": round(runtime / 1000, 2),
+            "speedup": round(self.speedup(design), 2),
+        } for design, runtime in self.runtimes.items()]
+
+    def render(self) -> str:
+        """ASCII rendering of the study."""
+        return render_table(
+            self.rows(),
+            title=f"Investment study ({self.app_name}, "
+                  f"{self.n_nodes} nodes): CPU vs communication")
+
+
+def investment_study(app_name: str = "Sample", n_nodes: int = 16,
+                     scale: float = 1.0, seed: int = 0
+                     ) -> InvestmentStudy:
+    """Section 5.5's trade-off: 2× CPU vs halved (o, g)."""
+    study = InvestmentStudy(app_name=app_name, n_nodes=n_nodes)
+    now = LogGPParams.berkeley_now()
+    designs = {
+        "baseline": Cluster(n_nodes=n_nodes, seed=seed),
+        "2x cpu": Cluster(n_nodes=n_nodes, seed=seed,
+                          cost=CostModel().scaled(0.5)),
+        "1/2 o and g": Cluster(
+            n_nodes=n_nodes, seed=seed,
+            params=now.with_changes(
+                send_overhead=now.send_overhead / 2,
+                recv_overhead=now.recv_overhead / 2,
+                gap=now.gap / 2)),
+    }
+    for design, cluster in designs.items():
+        app, = suite_for(n_nodes, scale=scale, names=[app_name])
+        study.runtimes[design] = cluster.run(app).runtime_us
+    return study
+
+
+# ---------------------------------------------------------------------------
+# Occupancy: the Flash study's parameter.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OccupancyStudy:
+    app_name: str
+    n_nodes: int
+    values_us: List[float] = field(default_factory=list)
+    #: dial -> [runtime per value] (µs); dials: "occupancy", "overhead".
+    runtimes: Dict[str, List[float]] = field(default_factory=dict)
+
+    def slowdowns(self, dial: str) -> List[float]:
+        """Per-value slowdown series for one dial."""
+        series = self.runtimes[dial]
+        return [r / series[0] for r in series]
+
+    def rows(self) -> List[dict]:
+        """One dict row per dialed value."""
+        rows = []
+        for index, value in enumerate(self.values_us):
+            rows.append({
+                "added (us)": value,
+                "occupancy slowdown": round(
+                    self.slowdowns("occupancy")[index], 2),
+                "overhead slowdown": round(
+                    self.slowdowns("overhead")[index], 2),
+            })
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering of the study."""
+        return render_table(
+            self.rows(),
+            title=f"Occupancy vs overhead ({self.app_name}, "
+                  f"{self.n_nodes} nodes)")
+
+
+def occupancy_study(app_name: str = "EM3D(read)", n_nodes: int = 16,
+                    values: Sequence[float] = (0.0, 10.0, 25.0, 50.0),
+                    scale: float = 1.0, seed: int = 0) -> OccupancyStudy:
+    """Sweep NIC occupancy and host overhead over the same grid."""
+    study = OccupancyStudy(app_name=app_name, n_nodes=n_nodes,
+                           values_us=list(values))
+    for dial, knob_for in (
+            ("occupancy", TuningKnobs.added_occupancy),
+            ("overhead", TuningKnobs.added_overhead)):
+        series = []
+        for value in values:
+            cluster = Cluster(n_nodes=n_nodes, seed=seed,
+                              knobs=knob_for(value))
+            app, = suite_for(n_nodes, scale=scale, names=[app_name])
+            series.append(cluster.run(app).runtime_us)
+        study.runtimes[dial] = series
+    return study

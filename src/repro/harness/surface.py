@@ -1,0 +1,157 @@
+"""Two-dimensional sensitivity surfaces (an extension of Figures 5-8).
+
+The paper dials one LogGP parameter at a time.  Real design points move
+several at once (a slower NIC usually raises o *and* g), so this module
+sweeps a grid over two dials and reports the slowdown surface, with an
+ASCII heat map for a terminal-sized look at the interaction.
+
+The interesting question the surface answers: are overhead and gap
+*redundant* (both throttle the same messages, so the combined slowdown
+is about the max of the two) or *additive* (separate resources, costs
+stack)?  For CPU-bound message streams they largely overlap — the
+processor is already slower than the NIC — while for bursty traffic
+beyond the CPU rate they stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import Cluster
+from repro.harness.suite import suite_for
+from repro.instruments.balance import GREYSCALE
+from repro.network.loggp import LogGPParams
+
+__all__ = ["SensitivitySurface", "overhead_gap_surface"]
+
+#: Supported dial names and how a (name, value) pair becomes knobs.
+_DIALS: Dict[str, Callable[[float], TuningKnobs]] = {
+    "overhead": TuningKnobs.added_overhead,
+    "gap": TuningKnobs.added_gap,
+    "latency": TuningKnobs.added_latency,
+    "occupancy": TuningKnobs.added_occupancy,
+}
+
+
+def _combine(x_dial: str, x: float, y_dial: str, y: float) -> TuningKnobs:
+    knobs_x = _DIALS[x_dial](x)
+    knobs_y = _DIALS[y_dial](y)
+    merged = {}
+    for name in ("delta_o", "delta_g", "delta_L", "delta_G",
+                 "delta_occ"):
+        merged[name] = getattr(knobs_x, name) + getattr(knobs_y, name)
+    return TuningKnobs(**merged)
+
+
+@dataclass
+class SensitivitySurface:
+    """Slowdown over a 2-D grid of added (x_dial, y_dial) values."""
+
+    app_name: str
+    n_nodes: int
+    x_dial: str
+    y_dial: str
+    x_values: List[float]
+    y_values: List[float]
+    #: slowdown[(x, y)] relative to the (0, 0) corner.
+    slowdown: Dict[Tuple[float, float], float] = field(
+        default_factory=dict)
+
+    def at(self, x: float, y: float) -> float:
+        """Slowdown at one grid point."""
+        return self.slowdown[(x, y)]
+
+    def is_monotone(self, tolerance: float = 0.02) -> bool:
+        """Non-decreasing along both axes, within a small relative
+        ``tolerance`` (queueing jitter of a few tenths of a percent is
+        expected when one dial hides behind the other)."""
+        for j, y in enumerate(self.y_values):
+            for i, x in enumerate(self.x_values):
+                here = self.at(x, y)
+                if i > 0:
+                    left = self.at(self.x_values[i - 1], y)
+                    if here < left * (1.0 - tolerance):
+                        return False
+                if j > 0:
+                    below = self.at(x, self.y_values[j - 1])
+                    if here < below * (1.0 - tolerance):
+                        return False
+        return True
+
+    def interaction_excess(self, x: float, y: float) -> float:
+        """Measured combined slowdown minus the independent-axes
+        composition ``s(x,0) + s(0,y) - 1``; ~0 means the two dials act
+        additively, negative means they overlap (redundant), positive
+        means they compound."""
+        independent = self.at(x, 0.0) + self.at(0.0, y) - 1.0
+        return self.at(x, y) - independent
+
+    def rows(self) -> List[dict]:
+        """One dict row per y value (x values as columns)."""
+        rows = []
+        for y in self.y_values:
+            row = {f"{self.y_dial} (us)": y}
+            for x in self.x_values:
+                row[f"+{self.x_dial} {x}"] = round(self.at(x, y), 2)
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """ASCII heat map, dark = slow."""
+        peak = max(self.slowdown.values())
+        levels = len(GREYSCALE) - 1
+        lines = [f"-- {self.app_name} slowdown surface "
+                 f"({self.x_dial} across, {self.y_dial} down; "
+                 f"@={peak:.1f}x) --"]
+        header = " " * 8 + "".join(
+            f"{x:>7.0f}" for x in self.x_values)
+        lines.append(header)
+        for y in reversed(self.y_values):
+            cells = "".join(
+                "{:>7}".format(
+                    GREYSCALE[int(round(
+                        (self.at(x, y) - 1.0)
+                        / max(peak - 1.0, 1e-9) * levels))] * 3)
+                for x in self.x_values)
+            lines.append(f"{y:7.0f} {cells}")
+        return "\n".join(lines)
+
+
+def sensitivity_surface(app_name: str, n_nodes: int,
+                        x_dial: str, x_values: Sequence[float],
+                        y_dial: str, y_values: Sequence[float],
+                        scale: float = 1.0, seed: int = 0,
+                        params: Optional[LogGPParams] = None
+                        ) -> SensitivitySurface:
+    """Sweep the full (x, y) grid; (0, 0) is the baseline corner."""
+    if x_dial not in _DIALS or y_dial not in _DIALS:
+        known = ", ".join(sorted(_DIALS))
+        raise ValueError(f"dials must be among: {known}")
+    x_values = sorted(set([0.0] + list(x_values)))
+    y_values = sorted(set([0.0] + list(y_values)))
+    surface = SensitivitySurface(
+        app_name=app_name, n_nodes=n_nodes, x_dial=x_dial,
+        y_dial=y_dial, x_values=x_values, y_values=y_values)
+    runtimes = {}
+    for y in y_values:
+        for x in x_values:
+            knobs = _combine(x_dial, x, y_dial, y)
+            cluster = Cluster(n_nodes=n_nodes, seed=seed, knobs=knobs,
+                              params=params)
+            app, = suite_for(n_nodes, scale=scale, names=[app_name])
+            runtimes[(x, y)] = cluster.run(app).runtime_us
+    base = runtimes[(0.0, 0.0)]
+    surface.slowdown = {key: runtime / base
+                        for key, runtime in runtimes.items()}
+    return surface
+
+
+def overhead_gap_surface(app_name: str = "Sample", n_nodes: int = 16,
+                         values: Sequence[float] = (25.0, 50.0, 100.0),
+                         scale: float = 1.0,
+                         seed: int = 0) -> SensitivitySurface:
+    """The headline surface: added overhead × added gap."""
+    return sensitivity_surface(app_name, n_nodes, "overhead", values,
+                               "gap", values, scale=scale, seed=seed)

@@ -1,0 +1,178 @@
+"""LogGP parameter sweeps (the engine behind Figures 5-8).
+
+A sweep runs one application on a sequence of machine configurations
+that differ in exactly one dial, and reports the slowdown of each point
+relative to the sweep's own baseline (first point), which is how the
+paper normalises its figures.
+
+Runs that end in livelock (Barnes under heavy overhead) or exceed the
+configured simulated-time budget are recorded as ``N/A`` points with
+``slowdown = None``, mirroring the paper's N/A entries in Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.am.tuning import TuningKnobs
+from repro.apps.base import Application
+from repro.cluster.machine import Cluster, RunResult
+from repro.gas.runtime import LivelockError
+from repro.network.loggp import LogGPParams
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "overhead_sweep",
+           "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
+           "PAPER_OVERHEADS", "PAPER_GAPS", "PAPER_LATENCIES",
+           "PAPER_BANDWIDTHS"]
+
+#: The paper's sweep grids (absolute parameter targets).
+PAPER_OVERHEADS = (2.9, 3.9, 4.9, 6.9, 7.9, 13.0, 23.0, 53.0, 103.0)
+PAPER_GAPS = (5.8, 8.0, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0)
+PAPER_LATENCIES = (5.0, 7.5, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0)
+PAPER_BANDWIDTHS = (38.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.5, 3.0, 1.0)
+
+
+@dataclass
+class SweepPoint:
+    """One configuration of a sweep."""
+
+    #: The dialed parameter's absolute value (µs, or MB/s for bulk).
+    value: float
+    knobs: TuningKnobs
+    #: None when the run did not complete (livelock / budget).
+    result: Optional[RunResult] = None
+    failure: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+    @property
+    def runtime_us(self) -> Optional[float]:
+        return self.result.runtime_us if self.result else None
+
+
+@dataclass
+class SweepResult:
+    """A full sweep of one application over one dial."""
+
+    app_name: str
+    n_nodes: int
+    parameter: str  # "overhead" | "gap" | "latency" | "bulk_mb_s"
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> SweepPoint:
+        return self.points[0]
+
+    def slowdowns(self) -> List[Optional[float]]:
+        """Per-point slowdown vs the sweep baseline (None for N/A)."""
+        base = self.baseline.runtime_us
+        if base is None:
+            raise RuntimeError(
+                f"{self.app_name}: baseline run did not complete")
+        return [p.runtime_us / base if p.completed else None
+                for p in self.points]
+
+    def values(self) -> List[float]:
+        """The dialed parameter values, in sweep order."""
+        return [p.value for p in self.points]
+
+    def series(self) -> List[tuple]:
+        """(value, slowdown) pairs for completed points."""
+        base = self.baseline.runtime_us
+        return [(p.value, p.runtime_us / base)
+                for p in self.points if p.completed]
+
+    def as_rows(self) -> List[dict]:
+        """Flat dict rows (value, runtime, slowdown) per point."""
+        rows = []
+        for point, slowdown in zip(self.points, self.slowdowns()):
+            rows.append({
+                "app": self.app_name,
+                self.parameter: point.value,
+                "runtime_us": (round(point.runtime_us, 1)
+                               if point.completed else "N/A"),
+                "slowdown": (round(slowdown, 2)
+                             if slowdown is not None else "N/A"),
+            })
+        return rows
+
+
+def run_sweep(app: Application, n_nodes: int, parameter: str,
+              values: Sequence[float],
+              knob_for: Callable[[float], TuningKnobs],
+              params: Optional[LogGPParams] = None,
+              seed: int = 0,
+              run_limit_us: Optional[float] = None,
+              livelock_limit: int = 200_000,
+              window: int = 8) -> SweepResult:
+    """Run ``app`` at each dialed value; first value is the baseline."""
+    params = params or LogGPParams.berkeley_now()
+    sweep = SweepResult(app_name=app.name, n_nodes=n_nodes,
+                        parameter=parameter)
+    for value in values:
+        knobs = knob_for(value)
+        cluster = Cluster(n_nodes=n_nodes, params=params, knobs=knobs,
+                          seed=seed, run_limit_us=run_limit_us,
+                          livelock_limit=livelock_limit, window=window)
+        point = SweepPoint(value=value, knobs=knobs)
+        try:
+            point.result = cluster.run(app)
+        except LivelockError as exc:
+            point.failure = f"livelock: {exc}"
+        except TimeoutError as exc:
+            point.failure = f"budget exceeded: {exc}"
+        sweep.points.append(point)
+    return sweep
+
+
+def overhead_sweep(app: Application, n_nodes: int,
+                   overheads: Sequence[float] = PAPER_OVERHEADS,
+                   params: Optional[LogGPParams] = None,
+                   **kwargs) -> SweepResult:
+    """Figure 5: slowdown as a function of (absolute) overhead."""
+    params = params or LogGPParams.berkeley_now()
+    return run_sweep(
+        app, n_nodes, "overhead", overheads,
+        lambda o: TuningKnobs.added_overhead(
+            max(0.0, o - params.overhead)),
+        params=params, **kwargs)
+
+
+def gap_sweep(app: Application, n_nodes: int,
+              gaps: Sequence[float] = PAPER_GAPS,
+              params: Optional[LogGPParams] = None,
+              **kwargs) -> SweepResult:
+    """Figure 6: slowdown as a function of (absolute) gap."""
+    params = params or LogGPParams.berkeley_now()
+    return run_sweep(
+        app, n_nodes, "gap", gaps,
+        lambda g: TuningKnobs.added_gap(max(0.0, g - params.gap)),
+        params=params, **kwargs)
+
+
+def latency_sweep(app: Application, n_nodes: int,
+                  latencies: Sequence[float] = PAPER_LATENCIES,
+                  params: Optional[LogGPParams] = None,
+                  **kwargs) -> SweepResult:
+    """Figure 7: slowdown as a function of (absolute) latency."""
+    params = params or LogGPParams.berkeley_now()
+    return run_sweep(
+        app, n_nodes, "latency", latencies,
+        lambda L: TuningKnobs.added_latency(
+            max(0.0, L - params.latency)),
+        params=params, **kwargs)
+
+
+def bulk_bandwidth_sweep(app: Application, n_nodes: int,
+                         bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
+                         params: Optional[LogGPParams] = None,
+                         **kwargs) -> SweepResult:
+    """Figure 8: slowdown as a function of available bulk bandwidth."""
+    params = params or LogGPParams.berkeley_now()
+    return run_sweep(
+        app, n_nodes, "bulk_mb_s", bandwidths,
+        lambda mb: TuningKnobs.bulk_bandwidth(mb, params),
+        params=params, **kwargs)

@@ -1,0 +1,56 @@
+"""Figure 4: communication balance between processors.
+
+The paper renders, for each application, a P×P greyscale image where the
+darkness of cell (i, j) is the fraction of messages sent from processor i
+to processor j.  We expose the normalised matrix and an ASCII renderer
+(dark = high message count) so the figure can be regenerated in a
+terminal or dumped to CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.instruments.stats import ClusterStats
+
+__all__ = ["balance_matrix", "render_balance", "GREYSCALE"]
+
+#: Light-to-dark ASCII ramp used to render message densities.
+GREYSCALE = " .:-=+*#%@"
+
+
+def balance_matrix(stats: ClusterStats) -> np.ndarray:
+    """The Figure 4 matrix: messages sent i→j, scaled to [0, 1].
+
+    Each application is individually scaled so that 1.0 is the maximum
+    per-pair message count, as in the paper.
+    """
+    matrix = stats.matrix.astype(float)
+    peak = matrix.max()
+    if peak > 0:
+        matrix /= peak
+    return matrix
+
+
+def render_balance(stats: ClusterStats, title: str = "",
+                   matrix: Optional[np.ndarray] = None) -> str:
+    """ASCII rendering of the balance matrix.
+
+    Rows are senders (y-coordinate in the paper), columns receivers.
+    """
+    if matrix is None:
+        matrix = balance_matrix(stats)
+    n = matrix.shape[0]
+    levels = len(GREYSCALE) - 1
+    lines = []
+    if title:
+        lines.append(f"-- {title} (senders down, receivers across) --")
+    header = "    " + "".join(f"{j % 10}" for j in range(n))
+    lines.append(header)
+    for i in range(n):
+        cells = "".join(
+            GREYSCALE[int(round(matrix[i, j] * levels))] for j in range(n))
+        lines.append(f"{i:3d} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Raw communication counters, updated by the AM layer as messages move.
+
+A *message* here is a logical Active Message -- a request, a reply
+(explicit or automatic ack), a one-way message, or a whole bulk transfer
+-- matching what the paper counts in Table 4 ("messages sent per
+processor" includes both halves of each request/response pair).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["ClusterStats"]
+
+
+class ClusterStats:
+    """Per-node and per-pair communication counters for one run."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        #: messages[src, dst] — logical messages sent src→dst.
+        self.matrix = np.zeros((n_nodes, n_nodes), dtype=np.int64)
+        #: Per-node totals by category.
+        self.messages_sent = np.zeros(n_nodes, dtype=np.int64)
+        self.bulk_messages_sent = np.zeros(n_nodes, dtype=np.int64)
+        self.read_messages_sent = np.zeros(n_nodes, dtype=np.int64)
+        self.small_bytes_sent = np.zeros(n_nodes, dtype=np.int64)
+        self.bulk_bytes_sent = np.zeros(n_nodes, dtype=np.int64)
+        self.messages_received = np.zeros(n_nodes, dtype=np.int64)
+        #: Barrier crossings per node (set by the GAS layer).
+        self.barriers = np.zeros(n_nodes, dtype=np.int64)
+        #: Failed lock acquisition attempts per node (Barnes livelock).
+        self.failed_lock_attempts = np.zeros(n_nodes, dtype=np.int64)
+        #: Application start/end in simulated µs (set by the runtime).
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Counters only accumulate inside the measured region, so
+        #: untimed setup traffic does not pollute Table 4.
+        self.enabled = False
+
+    # -- measured-region control --------------------------------------------
+    def start_measurement(self, now: float) -> None:
+        """Begin the timed region (called after the entry barrier)."""
+        self.started_at = now
+        self.enabled = True
+
+    def stop_measurement(self, now: float) -> None:
+        """End the timed region (called after the exit barrier)."""
+        self.finished_at = now
+        self.enabled = False
+
+    # -- hooks called by the communication layer ---------------------------
+    def on_send(self, node_id: int, packet: Packet) -> None:
+        """One logical message left ``node_id`` (host-level send)."""
+        if not self.enabled:
+            return
+        self.messages_sent[node_id] += 1
+        self.matrix[node_id, packet.dst] += 1
+        if packet.is_bulk:
+            self.bulk_messages_sent[node_id] += 1
+            self.bulk_bytes_sent[node_id] += packet.logical_bytes
+        else:
+            self.small_bytes_sent[node_id] += packet.logical_bytes
+        if packet.is_read:
+            self.read_messages_sent[node_id] += 1
+
+    def on_host_recv(self, node_id: int, packet: Packet) -> None:
+        """The host at ``node_id`` paid receive overhead for a message."""
+        if not self.enabled:
+            return
+        self.messages_received[node_id] += 1
+
+    def on_barrier(self, node_id: int) -> None:
+        """``node_id`` completed a barrier."""
+        if not self.enabled:
+            return
+        self.barriers[node_id] += 1
+
+    def on_failed_lock(self, node_id: int) -> None:
+        """``node_id`` had a lock acquisition denied (retry follows)."""
+        self.failed_lock_attempts[node_id] += 1
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def runtime_us(self) -> float:
+        """Wall-clock of the measured region in simulated microseconds."""
+        if self.started_at is None or self.finished_at is None:
+            raise RuntimeError("run has not completed")
+        return self.finished_at - self.started_at
+
+    @property
+    def total_messages(self) -> int:
+        """All logical messages sent by all nodes."""
+        return int(self.messages_sent.sum())
+
+    @property
+    def avg_messages_per_node(self) -> float:
+        return float(self.messages_sent.mean())
+
+    @property
+    def max_messages_per_node(self) -> int:
+        return int(self.messages_sent.max())
+
+    @property
+    def communication_balance(self) -> float:
+        """Max over average messages per node (1.0 = perfectly balanced)."""
+        avg = self.avg_messages_per_node
+        if avg == 0:
+            return 1.0
+        return self.max_messages_per_node / avg
+
+    def per_node_rows(self) -> List[dict]:
+        """One diagnostic dict per node."""
+        return [
+            {
+                "node": node,
+                "messages_sent": int(self.messages_sent[node]),
+                "bulk_messages": int(self.bulk_messages_sent[node]),
+                "reads": int(self.read_messages_sent[node]),
+                "small_bytes": int(self.small_bytes_sent[node]),
+                "bulk_bytes": int(self.bulk_bytes_sent[node]),
+                "barriers": int(self.barriers[node]),
+            }
+            for node in range(self.n_nodes)
+        ]

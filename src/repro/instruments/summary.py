@@ -1,0 +1,105 @@
+"""Table 4's derived communication summary for one application run.
+
+Given the raw :class:`~repro.instruments.stats.ClusterStats` of a run,
+compute the columns of the paper's Table 4: average/maximum messages per
+processor, message frequency (msgs/proc/ms), average message interval
+(µs), average barrier interval (ms), percentage of bulk messages,
+percentage of reads, and per-processor bulk/small bandwidth (KB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instruments.stats import ClusterStats
+
+__all__ = ["CommunicationSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class CommunicationSummary:
+    """One row of Table 4."""
+
+    program: str
+    runtime_us: float
+    avg_messages_per_proc: float
+    max_messages_per_proc: int
+    #: Average messages per processor per millisecond.
+    messages_per_proc_per_ms: float
+    #: Average interval between one processor's message sends (µs).
+    message_interval_us: float
+    #: Average interval between barriers (ms); ``inf`` if no barriers.
+    barrier_interval_ms: float
+    #: Percentage of messages using the bulk transfer mechanism.
+    percent_bulk: float
+    #: Percentage of messages that are read requests or replies.
+    percent_reads: float
+    #: Average per-processor bandwidth of bulk messages (KB/s).
+    bulk_kb_per_s: float
+    #: Average per-processor bandwidth of small messages (KB/s).
+    small_kb_per_s: float
+
+    def as_row(self) -> dict:
+        """Flat dict for tabular reporting."""
+        return {
+            "Program": self.program,
+            "Avg Msg/Proc": round(self.avg_messages_per_proc),
+            "Max Msg/Proc": self.max_messages_per_proc,
+            "Msg/Proc/ms": round(self.messages_per_proc_per_ms, 2),
+            "Msg Interval (us)": round(self.message_interval_us, 1),
+            "Barrier Interval (ms)": (
+                round(self.barrier_interval_ms)
+                if self.barrier_interval_ms != float("inf") else "-"),
+            "Percent Bulk": f"{self.percent_bulk:.2f}%",
+            "Percent Reads": f"{self.percent_reads:.2f}%",
+            "Bulk KB/s": round(self.bulk_kb_per_s, 1),
+            "Small KB/s": round(self.small_kb_per_s, 1),
+        }
+
+
+def summarize(program: str, stats: ClusterStats) -> CommunicationSummary:
+    """Compute the Table 4 row for a completed run."""
+    runtime_us = stats.runtime_us
+    runtime_ms = runtime_us / 1000.0
+    runtime_s = runtime_us / 1e6
+    avg_msgs = stats.avg_messages_per_node
+    total = stats.total_messages
+
+    if runtime_ms > 0 and avg_msgs > 0:
+        freq = avg_msgs / runtime_ms
+        interval = runtime_us / avg_msgs
+    else:
+        freq = 0.0
+        interval = float("inf")
+
+    total_barriers = float(stats.barriers.mean())
+    if total_barriers > 0:
+        barrier_interval_ms = runtime_ms / total_barriers
+    else:
+        barrier_interval_ms = float("inf")
+
+    if total > 0:
+        percent_bulk = 100.0 * stats.bulk_messages_sent.sum() / total
+        percent_reads = 100.0 * stats.read_messages_sent.sum() / total
+    else:
+        percent_bulk = percent_reads = 0.0
+
+    if runtime_s > 0:
+        bulk_kb = (stats.bulk_bytes_sent.mean() / 1024.0) / runtime_s
+        small_kb = (stats.small_bytes_sent.mean() / 1024.0) / runtime_s
+    else:
+        bulk_kb = small_kb = 0.0
+
+    return CommunicationSummary(
+        program=program,
+        runtime_us=runtime_us,
+        avg_messages_per_proc=avg_msgs,
+        max_messages_per_proc=stats.max_messages_per_node,
+        messages_per_proc_per_ms=freq,
+        message_interval_us=interval,
+        barrier_interval_ms=barrier_interval_ms,
+        percent_bulk=percent_bulk,
+        percent_reads=percent_reads,
+        bulk_kb_per_s=bulk_kb,
+        small_kb_per_s=small_kb,
+    )

@@ -1,0 +1,25 @@
+"""The paper's analytical sensitivity models (Section 5).
+
+* :mod:`repro.models.overhead` -- ``r_pred = r_orig + 2 m Δo`` where
+  ``m`` is the maximum number of messages sent by any processor
+  (Table 5), plus the serialization-effect discussion.
+* :mod:`repro.models.gap` -- the two bracketing gap models: *uniform*
+  (slowdown only once the gap exceeds the average message interval) and
+  *burst* (``r_pred = r_base + m Δg``; Table 6 -- the one the data
+  follow, because communication is bursty).
+* :mod:`repro.models.latency` -- the round-trip model for read-based
+  applications (accurate only for EM3D(read), the worst-case blocking
+  reader, as in the paper).
+* :mod:`repro.models.serialization` -- the serialization-corrected
+  overhead model implied by Section 5.1's analysis of Radix.
+"""
+
+from repro.models.overhead import OverheadModel
+from repro.models.gap import BurstGapModel, UniformGapModel
+from repro.models.latency import ReadLatencyModel
+from repro.models.serialization import (SerializedOverheadModel,
+                                        estimate_serial_messages)
+
+__all__ = ["OverheadModel", "BurstGapModel", "UniformGapModel",
+           "ReadLatencyModel", "SerializedOverheadModel",
+           "estimate_serial_messages"]

@@ -1,0 +1,56 @@
+"""The latency sensitivity model (Section 5.3).
+
+Only operations that wait on a network round trip feel latency: blocking
+reads (and synchronisation).  For an application performing ``n_reads``
+blocking reads on its critical processor, each read's round trip grows
+by ``2 ΔL``:
+
+    r_pred = r_base + 2 · n_reads · ΔL
+
+The paper notes this simple model is accurate only for EM3D(read) — the
+worst-case application that does nothing to tolerate latency — while
+applications with any latency tolerance fall below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReadLatencyModel"]
+
+
+@dataclass(frozen=True)
+class ReadLatencyModel:
+    """``r_base + 2 · reads · ΔL`` for blocking-read applications."""
+
+    base_runtime_us: float
+    #: Blocking read *operations* by the busiest processor.  Note a
+    #: read operation is two messages (request + reply); Table 4's
+    #: "% reads" counts messages, so reads ≈ max_msgs · pct_reads / 2.
+    reads_per_proc: float
+
+    def __post_init__(self) -> None:
+        if self.base_runtime_us <= 0:
+            raise ValueError("base_runtime_us must be > 0")
+        if self.reads_per_proc < 0:
+            raise ValueError("reads_per_proc must be >= 0")
+
+    @classmethod
+    def from_message_counts(cls, base_runtime_us: float,
+                            max_messages_per_proc: int,
+                            percent_reads: float) -> "ReadLatencyModel":
+        """Build from Table 4 columns (messages and read percentage)."""
+        reads = max_messages_per_proc * (percent_reads / 100.0) / 2.0
+        return cls(base_runtime_us=base_runtime_us,
+                   reads_per_proc=reads)
+
+    def predict_runtime(self, delta_L_us: float) -> float:
+        """Predicted runtime (µs) at added latency ``delta_L_us``."""
+        if delta_L_us < 0:
+            raise ValueError("delta_L_us must be >= 0")
+        return (self.base_runtime_us
+                + 2.0 * self.reads_per_proc * delta_L_us)
+
+    def predict_slowdown(self, delta_L_us: float) -> float:
+        """Predicted runtime over the baseline runtime."""
+        return self.predict_runtime(delta_L_us) / self.base_runtime_us

@@ -1,0 +1,60 @@
+"""The overhead sensitivity model (Section 5.1).
+
+Added overhead is paid on every send and every receive.  In Split-C all
+communication events pair into request/response, so a processor that
+sends ``m`` messages pays ``2 m Δo``:  for each request it sends it also
+receives the paired response, and for each response it sends it already
+received the paired request.  Assuming the application runs at the speed
+of the processor that sends the most messages:
+
+    r_pred(Δo) = r_orig + 2 · m_max · Δo
+
+The model under-predicts applications with serial phases (Radix's global
+histogram): a phase serialised on one processor adds ``n Δo`` that the
+busiest-processor term does not capture, and the under-prediction grows
+with P — the paper's *serialization effect*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OverheadModel"]
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Predicts runtime under added overhead for one application run.
+
+    Parameters
+    ----------
+    base_runtime_us:
+        Runtime with the unmodified machine.
+    max_messages_per_proc:
+        ``m``: the maximum number of messages sent by any processor
+        during the baseline run (Table 4 column).
+    """
+
+    base_runtime_us: float
+    max_messages_per_proc: int
+
+    def __post_init__(self) -> None:
+        if self.base_runtime_us <= 0:
+            raise ValueError("base_runtime_us must be > 0")
+        if self.max_messages_per_proc < 0:
+            raise ValueError("max_messages_per_proc must be >= 0")
+
+    def predict_runtime(self, delta_o_us: float) -> float:
+        """``r_orig + 2 m Δo`` in microseconds."""
+        if delta_o_us < 0:
+            raise ValueError("delta_o_us must be >= 0")
+        return (self.base_runtime_us
+                + 2.0 * self.max_messages_per_proc * delta_o_us)
+
+    def predict_slowdown(self, delta_o_us: float) -> float:
+        """Predicted runtime over the baseline runtime."""
+        return self.predict_runtime(delta_o_us) / self.base_runtime_us
+
+    def sensitivity_us_per_us(self) -> float:
+        """d(runtime)/d(Δo): the model's slope, ``2 m``."""
+        return 2.0 * self.max_messages_per_proc

@@ -1,0 +1,87 @@
+"""The serialization-corrected overhead model (Section 5.1's analysis).
+
+The paper explains the simple ``r + 2·m·Δo`` model's under-prediction:
+"If a processor Pn serializes the program in a phase n messages long,
+when we increase o by Δo, then the serial phase will add to the overall
+run time by n·Δo" — invisible to the busiest-processor term when the
+serializing processor is not the busiest.  The corrected model is
+
+    r_pred = r_orig + 2·m·Δo + 2·n_serial·Δo
+
+where ``n_serial`` is the number of message events on the program's
+serial chain (for Radix: the cyclic-shift histogram, length ∝ radix·P).
+The model also quantifies the paper's parallel-efficiency observation:
+speedup *decreases* as overhead increases for any program with a serial
+portion, because ``n_serial`` grows with P while ``m`` shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.overhead import OverheadModel
+
+__all__ = ["SerializedOverheadModel", "estimate_serial_messages"]
+
+
+@dataclass(frozen=True)
+class SerializedOverheadModel:
+    """``r + 2·m·Δo + 2·n_serial·Δo``."""
+
+    base_runtime_us: float
+    max_messages_per_proc: int
+    #: Message events on the serial chain beyond the busiest processor's
+    #: own share.
+    serial_messages: float
+
+    def __post_init__(self) -> None:
+        if self.base_runtime_us <= 0:
+            raise ValueError("base_runtime_us must be > 0")
+        if self.max_messages_per_proc < 0:
+            raise ValueError("max_messages_per_proc must be >= 0")
+        if self.serial_messages < 0:
+            raise ValueError("serial_messages must be >= 0")
+
+    def predict_runtime(self, delta_o_us: float) -> float:
+        """Predicted runtime (µs) at added overhead ``delta_o_us``."""
+        if delta_o_us < 0:
+            raise ValueError("delta_o_us must be >= 0")
+        return (self.base_runtime_us
+                + 2.0 * self.max_messages_per_proc * delta_o_us
+                + 2.0 * self.serial_messages * delta_o_us)
+
+    def predict_slowdown(self, delta_o_us: float) -> float:
+        """Predicted runtime over the baseline runtime."""
+        return self.predict_runtime(delta_o_us) / self.base_runtime_us
+
+    def simple_model(self) -> OverheadModel:
+        """The uncorrected model, for side-by-side comparison."""
+        return OverheadModel(
+            base_runtime_us=self.base_runtime_us,
+            max_messages_per_proc=self.max_messages_per_proc)
+
+    def parallel_efficiency_ratio(self, delta_o_us: float,
+                                  other: "SerializedOverheadModel"
+                                  ) -> float:
+        """This configuration's predicted runtime over another's at the
+        same Δo — how the serial term erodes scaling as o grows."""
+        return (self.predict_runtime(delta_o_us)
+                / other.predict_runtime(delta_o_us))
+
+
+def estimate_serial_messages(base_runtime_us: float,
+                             max_messages_per_proc: int,
+                             measured_runtime_us: float,
+                             delta_o_us: float) -> float:
+    """Back out ``n_serial`` from one measured high-overhead point.
+
+    Solves the corrected model for the serial term; clamped at zero
+    (measurements below the simple model imply overlap, not serial
+    work).
+    """
+    if delta_o_us <= 0:
+        raise ValueError("delta_o_us must be > 0 to estimate")
+    simple = OverheadModel(base_runtime_us=base_runtime_us,
+                           max_messages_per_proc=max_messages_per_proc)
+    residual = measured_runtime_us - simple.predict_runtime(delta_o_us)
+    return max(0.0, residual / (2.0 * delta_o_us))

@@ -1,0 +1,222 @@
+"""The network interface: a model of the Myrinet LANai card.
+
+The LANai runs two independent hardware contexts, which the paper's
+apparatus exploits:
+
+* the **transmit context** pulls packets queued by the host, injects them
+  onto the wire, then stalls for the gap (baseline ``g`` plus the
+  ``delta_g`` dial; for bulk fragments, plus ``size * (G + delta_G)``)
+  before injecting the next packet -- stalling *after* injection so
+  latency is unaffected;
+* the **receive context** accepts packets from the wire and deposits them
+  toward the host.  The ``delta_L`` dial is implemented here as the
+  paper's *delay queue*: an arriving packet is only marked valid
+  ``delta_L`` microseconds after arrival, leaving ``o`` and ``g``
+  untouched.  Because the contexts are independent, a stalled transmitter
+  never blocks reception.
+
+Flow-control CREDIT packets are generated and consumed entirely inside
+the NIC (never reaching the host) and bypass the transmit gap, standing
+in for firmware-level acknowledgements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.am.tuning import TuningKnobs
+from repro.network.loggp import LogGPParams
+from repro.network.packet import Packet, PacketKind
+from repro.sim import Simulator, Store
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One node's network interface card.
+
+    Parameters
+    ----------
+    sim, node_id, params, knobs, wire:
+        The simulator, this NIC's node id, baseline LogGP parameters,
+        the tuning dials, and the fabric.
+    deliver_to_host:
+        Callback invoked with a :class:`Packet` when a message becomes
+        visible to the host processor (the AM layer's receive queue).
+    return_credit:
+        Callback invoked with the original request's ``xfer_id`` when a
+        flow-control credit comes back (REPLY arrival or CREDIT packet).
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, params: LogGPParams,
+                 knobs: TuningKnobs, wire: "Wire",  # noqa: F821
+                 deliver_to_host: Callable[[Packet], None],
+                 return_credit: Callable[[int], None],
+                 tracer: Optional["MessageTracer"] = None) -> None:  # noqa: F821
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.knobs = knobs
+        self.wire = wire
+        self._deliver_to_host = deliver_to_host
+        self._return_credit = return_credit
+        self.tracer = tracer
+        self._tx_queue: Store = Store(sim, name=f"tx[{node_id}]")
+        # With non-zero occupancy the receive context becomes a serial
+        # processor: each arriving packet holds it for delta_occ before
+        # entering the (possibly delayed) receive queue.
+        self._rx_queue: Optional[Store] = None
+        if knobs.delta_occ > 0:
+            self._rx_queue = Store(sim, name=f"rx[{node_id}]")
+            sim.process(self._receive_context(),
+                        name=f"nic-rx[{node_id}]")
+        self._fragments_seen: Dict[int, int] = {}
+        self._delay_queue_depth = 0
+        self.packets_injected = 0
+        self.bytes_injected = 0
+        self.tx_busy_until = 0.0
+        sim.process(self._transmit_context(), name=f"nic-tx[{node_id}]")
+        wire.attach(node_id, self)
+
+    # -- host-side API -----------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Host hands a packet to the NIC for transmission."""
+        if packet.src != self.node_id:
+            raise ValueError(
+                f"packet src {packet.src} queued on NIC {self.node_id}")
+        self._tx_queue.put(packet)
+
+    @property
+    def tx_backlog(self) -> int:
+        """Packets waiting in the transmit queue (diagnostic)."""
+        return len(self._tx_queue)
+
+    # -- transmit context ---------------------------------------------------
+    def _pre_injection_time(self, packet: Packet) -> float:
+        """Transmit-context time *before* a packet reaches the wire.
+
+        Bulk fragments must first be DMAed into the card at rate ``1/G``;
+        short packets are staged by the host (part of ``o``) and go
+        straight out.
+        """
+        time = self.knobs.delta_occ
+        if packet.kind is PacketKind.BULK_FRAGMENT:
+            time += packet.size_bytes * self.params.Gap
+        return time
+
+    def _post_injection_stall(self, packet: Packet,
+                              pre_time: float) -> float:
+        """Transmit-context stall *after* injection.
+
+        The baseline per-message gap applies to every packet (less any
+        time already spent on the DMA); the paper's dials are additive
+        here: ``delta_g`` per message, ``delta_G`` per bulk byte.  The
+        ``delta_G`` dial never slows short packets (Section 5.4: "we do
+        not slow down transmission of small messages").
+        """
+        stall = max(0.0, self.params.gap - pre_time) + self.knobs.delta_g
+        if packet.kind is PacketKind.BULK_FRAGMENT:
+            stall += packet.size_bytes * self.knobs.delta_G
+        return stall
+
+    def _transmit_context(self):
+        """The LANai transmit loop: DMA, inject, stall for the gap."""
+        while True:
+            packet = yield self._tx_queue.get()
+            pre_time = self._pre_injection_time(packet)
+            if pre_time > 0:
+                yield self.sim.timeout(pre_time)
+            self.packets_injected += 1
+            self.bytes_injected += packet.size_bytes
+            if self.tracer is not None:
+                self.tracer.record("injected", packet.xfer_id,
+                                   self.sim.now)
+            self.wire.carry(packet)
+            stall = self._post_injection_stall(packet, pre_time)
+            self.tx_busy_until = self.sim.now + stall
+            if stall > 0:
+                yield self.sim.timeout(stall)
+
+    # -- receive context ----------------------------------------------------
+    def receive_from_wire(self, packet: Packet) -> None:
+        """Wire delivery point: occupancy first (if dialed), then the
+        delay queue for ``delta_L``."""
+        if self._rx_queue is not None:
+            self._rx_queue.put(packet)
+            return
+        self._after_occupancy(packet)
+
+    def _receive_context(self):
+        """Serial receive-context processing under dialed occupancy."""
+        while True:
+            packet = yield self._rx_queue.get()
+            yield self.sim.timeout(self.knobs.delta_occ)
+            self._after_occupancy(packet)
+
+    def _after_occupancy(self, packet: Packet) -> None:
+        if self.knobs.delta_L > 0:
+            self._delay_queue_depth += 1
+            hold = self.sim.event(name=f"delayq:{packet.xfer_id}")
+            hold.callbacks.append(lambda _e: self._mark_valid(packet))
+            hold.succeed(None, delay=self.knobs.delta_L)
+        else:
+            self._accept(packet)
+
+    def _mark_valid(self, packet: Packet) -> None:
+        self._delay_queue_depth -= 1
+        self._accept(packet)
+
+    def _accept(self, packet: Packet) -> None:
+        """Process a packet that is now valid in the receive queue."""
+        kind = packet.kind
+        if kind is PacketKind.CREDIT:
+            self._return_credit(packet.payload)
+            return
+        if kind is PacketKind.REPLY:
+            self._return_credit(packet.xfer_id)
+            self._record_delivery(packet)
+            self._deliver_to_host(packet)
+            return
+        if kind is PacketKind.BULK_FRAGMENT:
+            self._accept_fragment(packet)
+            return
+        # REQUEST
+        if packet.one_way:
+            self._send_nic_credit(packet)
+        self._record_delivery(packet)
+        self._deliver_to_host(packet)
+
+    def _accept_fragment(self, packet: Packet) -> None:
+        """Reassemble bulk fragments; deliver the message on the last."""
+        _index, count = packet.fragment
+        seen = self._fragments_seen.get(packet.xfer_id, 0) + 1
+        if seen < count:
+            self._fragments_seen[packet.xfer_id] = seen
+            return
+        self._fragments_seen.pop(packet.xfer_id, None)
+        if packet.one_way:
+            self._send_nic_credit(packet)
+        elif packet.is_reply:
+            # A bulk reply completes a request: the window credit its
+            # request took comes back here, as for a short REPLY.
+            self._return_credit(packet.xfer_id)
+        self._record_delivery(packet)
+        self._deliver_to_host(packet)
+
+    def _record_delivery(self, packet: Packet) -> None:
+        if self.tracer is not None:
+            self.tracer.record("delivered", packet.xfer_id, self.sim.now)
+
+    def _send_nic_credit(self, packet: Packet) -> None:
+        """Firmware-level flow-control ack: straight back onto the wire,
+        bypassing our transmit context (the LANai's dual-context
+        property) and never touching the host."""
+        credit = Packet(kind=PacketKind.CREDIT, src=self.node_id,
+                        dst=packet.src, payload=packet.xfer_id,
+                        size_bytes=8)
+        self.wire.carry(credit)
+
+    @property
+    def delay_queue_depth(self) -> int:
+        """Packets currently held by the latency delay queue."""
+        return self._delay_queue_depth

@@ -1,0 +1,118 @@
+"""Packets travelling through the simulated network.
+
+Two sizes exist, mirroring Generic Active Messages:
+
+* *short* packets -- a handful of words (requests, replies, acks);
+* *bulk fragments* -- pieces of a bulk transfer, at most 4 KB each,
+  moved by the NIC's DMA engine at rate ``1/G``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+__all__ = ["PacketKind", "Packet", "BULK_FRAGMENT_BYTES",
+           "SHORT_PACKET_BYTES", "new_xfer_id"]
+
+#: Maximum bulk fragment payload injected per DMA, as in the paper (4 KB).
+BULK_FRAGMENT_BYTES = 4096
+
+#: Nominal size of a short Active Message packet (header + 4 words).
+SHORT_PACKET_BYTES = 32
+
+_sequence = itertools.count()
+
+
+def new_xfer_id() -> int:
+    """A fresh transfer identifier, shared by all fragments of one bulk
+    transfer and by a reply with its request."""
+    return next(_sequence)
+
+
+class PacketKind(Enum):
+    """What a packet is, which determines how each end processes it."""
+
+    #: Short AM request; delivered to the host, runs a handler, and is
+    #: answered by a REPLY (explicit or implicit ack).
+    REQUEST = "request"
+    #: Short AM reply; delivered to the host (costs receive overhead) and
+    #: returns the window credit taken by its request.
+    REPLY = "reply"
+    #: NIC-level flow-control credit for one-way messages; consumed by the
+    #: receiving NIC, never reaches the host, bypasses the transmit gap.
+    CREDIT = "credit"
+    #: One fragment of a bulk transfer.
+    BULK_FRAGMENT = "bulk_fragment"
+
+
+@dataclass
+class Packet:
+    """A message (or message fragment) in flight.
+
+    ``handler`` names an entry in the destination's Active Message handler
+    table; ``payload`` is an arbitrary Python object standing in for the
+    message body (its simulated size is ``size_bytes``).
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    handler: Optional[str] = None
+    payload: Any = None
+    size_bytes: int = SHORT_PACKET_BYTES
+    #: True if this packet is part of a read request/reply pair
+    #: (instrumentation for Table 4's "percent reads" column).
+    is_read: bool = False
+    #: True if the *logical message* is a bulk transfer.
+    is_bulk: bool = False
+    #: Identifier linking a reply to its request, and fragments to their
+    #: bulk transfer.
+    xfer_id: int = field(default_factory=lambda: next(_sequence))
+    #: (fragment_index, fragment_count) for BULK_FRAGMENT packets.
+    fragment: Tuple[int, int] = (0, 1)
+    #: True when the sender does not expect a host-level reply; the
+    #: receiving NIC returns a CREDIT instead.
+    one_way: bool = False
+    #: True for bulk fragments that constitute a *reply* to a request
+    #: (a GAM ``get``); the receiving NIC returns the window credit.
+    is_reply: bool = False
+    #: Size of the whole logical message (for bulk: the total transfer,
+    #: recorded on the last fragment); ``None`` means ``size_bytes``.
+    message_bytes: Optional[int] = None
+    #: Simulated time the packet was injected into the wire (set by NIC).
+    injected_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(
+                f"packet to self ({self.src}); local operations must not "
+                "enter the network")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0, got {self.size_bytes}")
+        if self.kind is PacketKind.BULK_FRAGMENT:
+            index, count = self.fragment
+            if not 0 <= index < count:
+                raise ValueError(f"bad fragment indices {self.fragment}")
+            if self.size_bytes > BULK_FRAGMENT_BYTES:
+                raise ValueError(
+                    f"fragment of {self.size_bytes} bytes exceeds "
+                    f"{BULK_FRAGMENT_BYTES}")
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes of the logical message this packet completes."""
+        return self.message_bytes if self.message_bytes is not None \
+            else self.size_bytes
+
+    @property
+    def is_last_fragment(self) -> bool:
+        index, count = self.fragment
+        return index == count - 1
+
+    def __repr__(self) -> str:
+        return (f"<Packet {self.kind.value} {self.src}->{self.dst} "
+                f"handler={self.handler} bytes={self.size_bytes} "
+                f"xfer={self.xfer_id}>")

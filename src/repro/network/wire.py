@@ -1,0 +1,77 @@
+"""The switch fabric.
+
+The Berkeley NOW's Myrinet fabric (ten 8-port switches, 160 MB/s links)
+was never the bottleneck in the paper -- the per-message rate was limited
+by the LANai, and bulk bandwidth by the SBus DMA.  The paper also observes
+that the effective capacity constraint of the system is the Active Message
+layer's fixed flow-control window rather than the LogP ``L/g`` bound.  The
+wire is therefore modelled as a pure transit delay of ``L`` microseconds
+per packet with unlimited internal bandwidth; rate limits live in the NIC
+(gap, Gap) and the AM layer (window).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.network.packet import Packet
+
+__all__ = ["Wire"]
+
+
+class Wire:
+    """Point-to-point transit between NICs with latency ``L``.
+
+    NICs register themselves via :meth:`attach`; :meth:`carry` schedules
+    delivery of a packet into the destination NIC's receive context after
+    the base latency.
+    """
+
+    def __init__(self, sim: "Simulator", latency: float) -> None:  # noqa: F821
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.latency = latency
+        self._nics: Dict[int, "Nic"] = {}  # noqa: F821
+        self._in_flight = 0
+        self._max_in_flight = 0
+        self._packets_carried = 0
+
+    def attach(self, node_id: int, nic: "Nic") -> None:  # noqa: F821
+        """Register the NIC serving ``node_id``."""
+        if node_id in self._nics:
+            raise ValueError(f"node {node_id} already attached")
+        self._nics[node_id] = nic
+
+    def carry(self, packet: Packet) -> None:
+        """Put ``packet`` on the wire; it arrives at ``dst`` after ``L``."""
+        nic = self._nics.get(packet.dst)
+        if nic is None:
+            raise KeyError(f"no NIC attached for node {packet.dst}")
+        self._in_flight += 1
+        self._max_in_flight = max(self._max_in_flight, self._in_flight)
+        self._packets_carried += 1
+        packet.injected_at = self.sim.now
+        arrival = self.sim.event(name=f"arrive:{packet.xfer_id}")
+        arrival.callbacks.append(lambda _e: self._deliver(nic, packet))
+        arrival.succeed(None, delay=self.latency)
+
+    def _deliver(self, nic: "Nic", packet: Packet) -> None:  # noqa: F821
+        self._in_flight -= 1
+        nic.receive_from_wire(packet)
+
+    # -- diagnostics ------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Packets currently in transit."""
+        return self._in_flight
+
+    @property
+    def max_in_flight(self) -> int:
+        """High-water mark of packets simultaneously in transit."""
+        return self._max_in_flight
+
+    @property
+    def packets_carried(self) -> int:
+        """Total packets ever carried."""
+        return self._packets_carried

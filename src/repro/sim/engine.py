@@ -1,0 +1,146 @@
+"""The discrete-event simulator core loop.
+
+The :class:`Simulator` owns the clock and the event heap.  Events are
+processed in strict ``(time, priority, sequence)`` order, making every run
+fully deterministic for a given seedable workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+#: Default priority for scheduled events; lower runs first at equal times.
+NORMAL = 1
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in *microseconds*.  Typical use::
+
+        sim = Simulator()
+
+        def ping():
+            yield sim.timeout(5.0)
+            return "pong"
+
+        proc = sim.process(ping())
+        sim.run()
+        assert sim.now == 5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+        self._stop_requested: Optional[Event] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (diagnostic)."""
+        return self._event_count
+
+    # -- factories ----------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` microseconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Composite event succeeding when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Composite event succeeding when all of ``events`` succeed."""
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        """Insert a triggered event into the heap (internal API)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority,
+                                    self._seq, event))
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - heap guards against this
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        self._event_count += 1
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not getattr(event, "_defused", False):
+            # A failed event nobody waited on is a programming error:
+            # surface it rather than letting it pass silently.
+            raise event.value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None,
+            stop_event: Optional[Event] = None) -> Any:
+        """Run until the heap drains, ``until`` time, or ``stop_event``.
+
+        Returns the value of ``stop_event`` if given and triggered.
+        Raises :class:`TimeoutError` if ``until`` elapses while
+        ``stop_event`` is still pending.
+        """
+        if stop_event is not None:
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            stop_event._defused = True
+            stop_event.add_callback(self._stop_callback)
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self._now = until
+                break
+            self.step()
+            if self._stop_requested is not None:
+                stopped = self._stop_requested
+                self._stop_requested = None
+                if not stopped.ok:
+                    raise stopped.value
+                return stopped.value
+        if stop_event is not None:
+            raise TimeoutError(
+                f"simulation ended at t={self._now} before "
+                f"{stop_event!r} triggered")
+        if until is not None and self._now < until:
+            self._now = until
+        return None
+
+    def _stop_callback(self, event: Event) -> None:
+        self._stop_requested = event

@@ -1,0 +1,94 @@
+"""EM3D: both variants validate against the sequential reference inside
+``finalize``; these tests pin the variants' distinct communication
+profiles (Table 4) and their agreement with each other."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.apps import EM3D
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(n_nodes=4, seed=9)
+
+
+def test_write_variant_matches_reference(cluster):
+    result = cluster.run(EM3D(nodes_per_proc=12, steps=3,
+                              variant="write"))
+    assert set(result.output) == {"e", "h"}
+
+
+def test_read_variant_matches_reference(cluster):
+    result = cluster.run(EM3D(nodes_per_proc=12, steps=3,
+                              variant="read"))
+    assert set(result.output) == {"e", "h"}
+
+
+def test_variants_compute_identical_fields(cluster):
+    write = cluster.run(EM3D(nodes_per_proc=12, steps=3,
+                             variant="write"))
+    read = cluster.run(EM3D(nodes_per_proc=12, steps=3, variant="read"))
+    for kind in ("e", "h"):
+        assert np.allclose(write.output[kind], read.output[kind])
+
+
+def test_read_variant_is_read_dominated(cluster):
+    summary = cluster.run(
+        EM3D(nodes_per_proc=12, steps=2, variant="read")).summary()
+    # Table 4: EM3D(read) is ~97% reads.
+    assert summary.percent_reads > 80.0
+
+
+def test_write_variant_has_no_reads(cluster):
+    summary = cluster.run(
+        EM3D(nodes_per_proc=12, steps=2, variant="write")).summary()
+    assert summary.percent_reads < 1.0
+    assert summary.percent_bulk < 1.0
+
+
+def test_read_variant_sends_more_messages(cluster):
+    # Reads pull every cross edge every step; writes push each boundary
+    # value once per consumer processor — the paper's read version sends
+    # nearly twice the messages of the write version.
+    write = cluster.run(EM3D(nodes_per_proc=12, steps=2,
+                             variant="write"))
+    read = cluster.run(EM3D(nodes_per_proc=12, steps=2, variant="read"))
+    assert read.stats.total_messages > write.stats.total_messages
+
+
+def test_write_variant_uses_barriers_each_step(cluster):
+    result = cluster.run(EM3D(nodes_per_proc=12, steps=4,
+                              variant="write"))
+    # Two half-steps per step, one barrier each (plus the exit barrier).
+    assert result.stats.barriers[0] >= 8
+
+
+def test_zero_remote_edges_runs_without_communication():
+    cluster = Cluster(n_nodes=2, seed=1)
+    result = cluster.run(EM3D(nodes_per_proc=8, steps=2,
+                              pct_remote=0.0, variant="read"))
+    # Only barrier/collective traffic remains.
+    summary = result.summary()
+    assert summary.percent_reads == 0.0
+
+
+def test_single_node_em3d():
+    result = Cluster(n_nodes=1, seed=4).run(
+        EM3D(nodes_per_proc=10, steps=2, variant="write"))
+    assert result.stats.total_messages == 0
+
+
+def test_em3d_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        EM3D(variant="push")
+    with pytest.raises(ValueError):
+        EM3D(pct_remote=1.5)
+    with pytest.raises(ValueError):
+        EM3D(nodes_per_proc=0)
+
+
+def test_name_reflects_variant():
+    assert EM3D(variant="write").name == "EM3D(write)"
+    assert EM3D(variant="read").name == "EM3D(read)"

@@ -1,0 +1,143 @@
+"""Connect and Murphi: graph/state-space applications.
+
+Connect validates in ``finalize`` against sequential union-find; here we
+additionally cross-check with networkx.  Murphi validates against its
+own sequential BFS; we re-derive that count independently.
+"""
+
+import networkx as nx
+import pytest
+
+from repro import Cluster
+from repro.apps import Connect, Murphi
+from repro.apps.murphi import TransitionSystem
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(n_nodes=4, seed=13)
+
+
+# -- Connect ------------------------------------------------------------------
+
+def test_connect_matches_networkx(cluster):
+    app = Connect(rows_per_proc=3, cols=20, connectivity=0.35)
+    result = cluster.run(app)
+    labels = result.output
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(app._n_vertices))
+    graph.add_edges_from(app._edges)
+    expected_components = list(nx.connected_components(graph))
+
+    by_label = {}
+    for vertex, label in labels.items():
+        by_label.setdefault(label, set()).add(vertex)
+    measured_components = sorted(map(frozenset, by_label.values()),
+                                 key=min)
+    assert sorted(map(frozenset, expected_components), key=min) \
+        == measured_components
+
+
+def test_connect_read_dominated(cluster):
+    summary = cluster.run(
+        Connect(rows_per_proc=3, cols=24, connectivity=0.4)).summary()
+    # Table 4: Connect is ~67% reads (find-chasing).
+    assert summary.percent_reads > 40.0
+
+
+def test_connect_light_communication(cluster):
+    result = cluster.run(Connect(rows_per_proc=3, cols=24))
+    # Communication is bounded by boundary edges, far below the sorts.
+    assert result.stats.avg_messages_per_node < 500
+
+
+def test_connect_fully_connected_mesh():
+    cluster = Cluster(n_nodes=3, seed=2)
+    app = Connect(rows_per_proc=2, cols=10, connectivity=1.0)
+    result = cluster.run(app)
+    assert len(set(result.output.values())) == 1
+
+
+def test_connect_empty_mesh():
+    cluster = Cluster(n_nodes=3, seed=2)
+    app = Connect(rows_per_proc=2, cols=10, connectivity=0.0)
+    result = cluster.run(app)
+    assert len(set(result.output.values())) == app._n_vertices
+
+
+def test_connect_single_node():
+    result = Cluster(n_nodes=1, seed=8).run(
+        Connect(rows_per_proc=4, cols=12))
+    assert result.stats.total_messages == 0
+
+
+# -- Murphi -------------------------------------------------------------------
+
+def test_murphi_explores_exact_reachable_set(cluster):
+    app = Murphi(state_space=400, branching=3)
+    result = cluster.run(app)
+    reference = TransitionSystem(400, 3, seed=cluster.seed)
+    assert result.output["explored"] == reference.reachable_count()
+
+
+def test_murphi_each_state_processed_once(cluster):
+    app = Murphi(state_space=300, branching=2)
+    result = cluster.run(app)
+    assert result.output["explored"] <= 300
+
+
+def test_murphi_finds_all_assertion_violations(cluster):
+    app = Murphi(state_space=400, branching=3, violation_stride=7)
+    result = cluster.run(app)
+    reference = TransitionSystem(400, 3, seed=cluster.seed,
+                                 violation_stride=7)
+    assert set(result.output["violations"]) \
+        == reference.reachable_violations()
+    assert result.output["violations"], "stride-7 must hit something"
+
+
+def test_murphi_correct_protocol_reports_no_violations(cluster):
+    result = cluster.run(Murphi(state_space=300, branching=3))
+    assert result.output["violations"] == []
+
+
+def test_murphi_uses_bulk_batches(cluster):
+    summary = cluster.run(
+        Murphi(state_space=800, branching=3, batch_size=6)).summary()
+    # Table 4: Murphi ships ~half its messages as bulk state batches.
+    assert summary.percent_bulk > 20.0
+
+
+def test_murphi_smaller_batches_ship_more_bulk(cluster):
+    eager = cluster.run(
+        Murphi(state_space=600, branching=3, batch_size=2)).summary()
+    lazy = cluster.run(
+        Murphi(state_space=600, branching=3,
+               batch_size=10_000)).summary()
+    # With an unreachable batch size, bulk only happens at the flush
+    # (2+ leftovers per destination); eager batching ships more bulk.
+    assert eager.percent_bulk >= lazy.percent_bulk
+    assert eager.percent_bulk > 10.0
+
+
+def test_murphi_single_node():
+    result = Cluster(n_nodes=1, seed=6).run(
+        Murphi(state_space=200, branching=3))
+    reference = TransitionSystem(200, 3, seed=6)
+    assert result.output["explored"] == reference.reachable_count()
+
+
+def test_transition_system_is_deterministic():
+    a = TransitionSystem(500, 3, seed=42)
+    b = TransitionSystem(500, 3, seed=42)
+    for state in range(0, 500, 37):
+        assert a.successors(state) == b.successors(state)
+    assert a.reachable_count() == b.reachable_count()
+
+
+def test_transition_system_owner_partition():
+    system = TransitionSystem(500, 3, seed=1)
+    owners = {system.owner(s, 4) for s in range(500)}
+    assert owners <= set(range(4))
+    assert len(owners) == 4  # all ranks own something

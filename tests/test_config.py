@@ -1,0 +1,78 @@
+"""Tests for JSON experiment configurations."""
+
+import pytest
+
+from repro import Cluster
+from repro.apps import EM3D, RadixSort
+from repro.harness.config import APP_REGISTRY, ExperimentConfig
+
+
+def test_registry_covers_the_suite():
+    assert set(APP_REGISTRY) == {
+        "Radix", "EM3D", "Sample", "Barnes", "P-Ray", "Murphi",
+        "Connect", "NOW-sort", "Radb"}
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        ExperimentConfig(app_name="quake")
+
+
+def test_json_roundtrip():
+    config = ExperimentConfig(
+        app_name="Radix", app_kwargs={"keys_per_proc": 64},
+        n_nodes=4, seed=9, knobs={"delta_o": 10.0})
+    clone = ExperimentConfig.from_json(config.to_json())
+    assert clone == config
+
+
+def test_from_json_rejects_unknown_keys():
+    with pytest.raises(ValueError):
+        ExperimentConfig.from_json(
+            '{"app_name": "Radix", "flux_capacitor": 1}')
+
+
+def test_build_and_run():
+    config = ExperimentConfig(
+        app_name="Radix", app_kwargs={"keys_per_proc": 48},
+        n_nodes=3, seed=5)
+    result = config.run()
+    assert result.app_name == "Radix"
+    assert result.n_nodes == 3
+
+
+def test_config_reproduces_a_direct_run_exactly():
+    direct = Cluster(n_nodes=4, seed=7).run(
+        RadixSort(keys_per_proc=64))
+    config = ExperimentConfig(
+        app_name="Radix", app_kwargs={"keys_per_proc": 64},
+        n_nodes=4, seed=7)
+    replayed = config.run()
+    assert replayed.runtime_us == direct.runtime_us
+    assert (replayed.stats.matrix == direct.stats.matrix).all()
+
+
+def test_from_run_captures_everything():
+    from repro.am.tuning import TuningKnobs
+    cluster = Cluster(n_nodes=4, seed=3,
+                      knobs=TuningKnobs.added_latency(25.0))
+    app = EM3D(nodes_per_proc=10, steps=2, variant="read")
+    config = ExperimentConfig.from_run(app, cluster)
+    assert config.app_name == "EM3D"
+    assert config.app_kwargs["variant"] == "read"
+    assert config.knobs["delta_L"] == 25.0
+    # And the captured config replays to the same result.
+    direct = cluster.run(app)
+    replayed = config.run()
+    assert replayed.runtime_us == direct.runtime_us
+
+
+def test_knob_and_param_overrides_apply():
+    config = ExperimentConfig(
+        app_name="Radb", app_kwargs={"keys_per_proc": 32},
+        n_nodes=2, params={"latency": 20.0},
+        knobs={"delta_o": 5.0}, cost={"cpu_scale": 2.0})
+    cluster = config.build_cluster()
+    assert cluster.params.latency == 20.0
+    assert cluster.knobs.delta_o == 5.0
+    assert cluster.cost.cpu_scale == 2.0

@@ -1,0 +1,81 @@
+"""Smoke tests for the experiment entry points at tiny scale.
+
+The full shape assertions live in benchmarks/; these verify the
+plumbing (structure, rendering, N/A handling) quickly.
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+
+TINY = dict(n_nodes=4, scale=0.1)
+
+
+def test_table3_structure():
+    table = experiments.table3_baseline_runtimes(
+        node_counts=(2, 4), scale=0.1, names=["Radix", "Connect"])
+    assert set(table.runtimes) == {"Radix", "Connect"}
+    rows = table.rows()
+    assert all("2-node time (ms)" in row for row in rows)
+    assert "Table 3" in table.render()
+
+
+def test_figure4_structure():
+    figure = experiments.figure4_balance(names=["Sample"], **TINY)
+    matrices = figure.matrices()
+    assert matrices["Sample"].shape == (4, 4)
+    assert "Sample" in figure.render()
+
+
+def test_table4_structure():
+    table = experiments.table4_comm_summary(names=["Radb"], **TINY)
+    rows = table.rows()
+    assert rows[0]["Program"] == "Radb"
+    assert "Table 4" in table.render()
+
+
+def test_figure5_series_and_rows():
+    figure = experiments.figure5_overhead(
+        names=["Sample"], overheads=(2.9, 52.9), **TINY)
+    sweep = figure.sweeps["Sample"]
+    assert sweep.slowdowns()[0] == pytest.approx(1.0)
+    assert sweep.slowdowns()[1] > 1.5
+    assert figure.max_slowdown("Sample") > 1.5
+    assert "slowdown" in figure.render()
+    rows = figure.rows()
+    assert {row["overhead"] for row in rows} == {2.9, 52.9}
+
+
+def test_table5_structure_and_baseline_exactness():
+    table = experiments.table5_overhead_model(
+        names=["Sample"], overheads=(2.9, 52.9), **TINY)
+    rows = table.rows()
+    assert rows[0]["measured_us"] == rows[0]["predicted_us"]
+    assert len(table.prediction_error("Sample")) == 2
+
+
+def test_table6_structure():
+    table = experiments.table6_gap_model(
+        names=["Radb"], gaps=(5.8, 55.0), **TINY)
+    assert len(table.rows()) == 2
+    assert "Table 6" in table.render()
+
+
+def test_figure7_and_8_structure():
+    figure7 = experiments.figure7_latency(
+        names=["Connect"], latencies=(5.0, 55.0), **TINY)
+    assert figure7.max_slowdown("Connect") >= 1.0
+    figure8 = experiments.figure8_bulk(
+        names=["NOW-sort"], bandwidths=(38.0, 1.0), **TINY)
+    assert figure8.max_slowdown("NOW-sort") >= 1.0
+
+
+def test_cli_runs_a_single_artifact(tmp_path, capsys):
+    from repro.harness.__main__ import main
+    code = main(["--nodes", "4", "--scale", "0.1", "--only", "table4",
+                 "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert (tmp_path / "table4.txt").exists()

@@ -1,0 +1,105 @@
+"""Tests for the sweep harness, suite scaling, and reporting."""
+
+import pytest
+
+from repro.apps import RadixSort
+from repro.harness import suite_for
+from repro.harness.report import ascii_plot, render_table
+from repro.harness.sweeps import (gap_sweep, latency_sweep,
+                                  overhead_sweep, run_sweep)
+from repro.am.tuning import TuningKnobs
+
+
+def test_suite_for_scales_inputs_to_fixed_total():
+    suite_32 = suite_for(32)
+    suite_16 = suite_for(16)
+    radix_32 = next(a for a in suite_32 if a.name == "Radix")
+    radix_16 = next(a for a in suite_16 if a.name == "Radix")
+    # Same total keys: per-proc doubles when nodes halve.
+    assert 16 * radix_16.keys_per_proc == 32 * radix_32.keys_per_proc
+
+
+def test_suite_for_filters_by_name():
+    suite = suite_for(8, names=["Radix", "Sample"])
+    assert {app.name for app in suite} == {"Radix", "Sample"}
+
+
+def test_suite_for_unknown_name_errors():
+    with pytest.raises(KeyError):
+        suite_for(8, names=["NoSuchApp"])
+
+
+def test_overhead_sweep_produces_monotone_slowdown():
+    sweep = overhead_sweep(RadixSort(keys_per_proc=48), n_nodes=4,
+                           overheads=(2.9, 22.9, 102.9))
+    slowdowns = sweep.slowdowns()
+    assert slowdowns[0] == pytest.approx(1.0)
+    assert slowdowns[1] > 1.5
+    assert slowdowns[2] > slowdowns[1]
+
+
+def test_overhead_sweep_roughly_linear():
+    sweep = overhead_sweep(RadixSort(keys_per_proc=48), n_nodes=4,
+                           overheads=(2.9, 27.9, 52.9, 102.9))
+    series = sweep.series()
+    # Slope between consecutive segments should be stable (linear
+    # dependence, Section 5.1).
+    (x0, y0), (x1, y1), (x2, y2), (x3, y3) = series
+    slope_a = (y1 - y0) / (x1 - x0)
+    slope_b = (y3 - y2) / (x3 - x2)
+    assert slope_b == pytest.approx(slope_a, rel=0.30)
+
+
+def test_gap_sweep_baseline_first():
+    sweep = gap_sweep(RadixSort(keys_per_proc=32), n_nodes=4,
+                      gaps=(5.8, 55.0))
+    assert sweep.slowdowns()[0] == pytest.approx(1.0)
+    assert sweep.slowdowns()[1] > 2.0
+
+
+def test_latency_sweep_write_app_tolerant():
+    # Coarse scan batches keep the (latency-sensitive, serialized)
+    # histogram phase out of the picture: the distribution phase's
+    # pipelined writes largely ignore latency (Figure 7).
+    sweep = latency_sweep(RadixSort(keys_per_proc=64, scan_batch=256),
+                          n_nodes=4, latencies=(5.0, 105.0))
+    assert sweep.slowdowns()[1] < 3.0
+
+
+def test_run_sweep_custom_knob_function():
+    sweep = run_sweep(RadixSort(keys_per_proc=32), 4, "overhead",
+                      (0.0, 20.0),
+                      lambda v: TuningKnobs.added_overhead(v))
+    assert sweep.parameter == "overhead"
+    assert len(sweep.points) == 2
+    assert sweep.points[1].knobs.delta_o == 20.0
+
+
+def test_sweep_rows_are_renderable():
+    sweep = overhead_sweep(RadixSort(keys_per_proc=32), n_nodes=2,
+                           overheads=(2.9, 52.9))
+    text = render_table(sweep.as_rows(), title="test")
+    assert "Radix" in text and "slowdown" in text
+
+
+def test_render_table_empty():
+    assert "no rows" in render_table([], title="empty")
+
+
+def test_render_table_alignment():
+    text = render_table([{"a": 1, "b": "xx"}, {"a": 300, "b": "y"}])
+    lines = text.splitlines()
+    assert len({len(line) for line in lines}) == 1  # rectangular
+
+
+def test_ascii_plot_contains_series_glyphs():
+    plot = ascii_plot({"one": [(0, 1), (10, 5)],
+                       "two": [(0, 1), (10, 2)]},
+                      title="demo", x_label="x", y_label="y")
+    assert "o" in plot and "x" in plot
+    assert "one" in plot and "two" in plot
+    assert "demo" in plot
+
+
+def test_ascii_plot_no_data():
+    assert "no data" in ascii_plot({}, title="void")

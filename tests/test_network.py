@@ -1,0 +1,177 @@
+"""Unit tests for LogGPParams, packets, wire, NIC, and TuningKnobs."""
+
+import pytest
+
+from repro.am.tuning import TuningKnobs
+from repro.network.loggp import LogGPParams
+from repro.network.packet import (BULK_FRAGMENT_BYTES, Packet,
+                                  PacketKind, new_xfer_id)
+from repro.network.wire import Wire
+from repro.cluster.presets import MACHINE_PRESETS, preset
+from repro.sim import Simulator
+
+
+# -- LogGPParams ---------------------------------------------------------------
+
+def test_berkeley_now_matches_table1():
+    now = LogGPParams.berkeley_now()
+    assert now.overhead == pytest.approx(2.9)
+    assert now.gap == 5.8
+    assert now.latency == 5.0
+    assert now.bulk_bandwidth_mb_s == pytest.approx(38.0)
+
+
+def test_paragon_and_meiko_match_table1():
+    paragon = LogGPParams.intel_paragon()
+    assert paragon.bulk_bandwidth_mb_s == pytest.approx(141.0)
+    meiko = LogGPParams.meiko_cs2()
+    assert meiko.gap == 13.6
+
+
+def test_capacity_is_ceil_L_over_g():
+    params = LogGPParams(latency=20.0, gap=6.0)
+    assert params.capacity == 4
+    assert LogGPParams(latency=1.0, gap=6.0).capacity == 1
+
+
+def test_with_changes_is_pure():
+    now = LogGPParams.berkeley_now()
+    slower = now.with_changes(latency=50.0)
+    assert slower.latency == 50.0
+    assert now.latency == 5.0
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        LogGPParams(latency=-1.0)
+    with pytest.raises(ValueError):
+        LogGPParams(gap=0.0)
+
+
+def test_describe_is_informative():
+    text = LogGPParams.berkeley_now().describe()
+    assert "o=2.9" in text and "38MB/s" in text
+
+
+# -- presets --------------------------------------------------------------------
+
+def test_preset_lookup():
+    assert preset("berkeley-now") == LogGPParams.berkeley_now()
+    with pytest.raises(KeyError):
+        preset("cray-t3e")
+    assert "lan-tcp" in MACHINE_PRESETS
+
+
+# -- packets ----------------------------------------------------------------------
+
+def test_packet_to_self_rejected():
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.REQUEST, src=3, dst=3)
+
+
+def test_fragment_size_limit():
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.BULK_FRAGMENT, src=0, dst=1,
+               size_bytes=BULK_FRAGMENT_BYTES + 1, fragment=(0, 1))
+
+
+def test_fragment_index_validation():
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.BULK_FRAGMENT, src=0, dst=1,
+               size_bytes=10, fragment=(2, 2))
+
+
+def test_logical_bytes_prefers_message_bytes():
+    packet = Packet(kind=PacketKind.BULK_FRAGMENT, src=0, dst=1,
+                    size_bytes=100, message_bytes=9000, fragment=(1, 2))
+    assert packet.logical_bytes == 9000
+    assert packet.is_last_fragment
+
+
+def test_xfer_ids_are_unique():
+    ids = {new_xfer_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+# -- wire -------------------------------------------------------------------------
+
+class _StubNic:
+    def __init__(self):
+        self.received = []
+
+    def receive_from_wire(self, packet):
+        self.received.append(packet)
+
+
+def test_wire_delivers_after_latency():
+    sim = Simulator()
+    wire = Wire(sim, latency=7.5)
+    nic = _StubNic()
+    wire.attach(1, nic)
+    packet = Packet(kind=PacketKind.REQUEST, src=0, dst=1)
+    wire.carry(packet)
+    assert nic.received == []
+    sim.run()
+    assert sim.now == 7.5
+    assert nic.received == [packet]
+    assert wire.packets_carried == 1
+    assert wire.in_flight == 0
+
+
+def test_wire_unattached_destination_errors():
+    sim = Simulator()
+    wire = Wire(sim, latency=1.0)
+    with pytest.raises(KeyError):
+        wire.carry(Packet(kind=PacketKind.REQUEST, src=0, dst=9))
+
+
+def test_wire_double_attach_rejected():
+    sim = Simulator()
+    wire = Wire(sim, latency=1.0)
+    wire.attach(0, _StubNic())
+    with pytest.raises(ValueError):
+        wire.attach(0, _StubNic())
+
+
+def test_wire_tracks_in_flight_high_water():
+    sim = Simulator()
+    wire = Wire(sim, latency=10.0)
+    nic = _StubNic()
+    wire.attach(1, nic)
+    for _ in range(5):
+        wire.carry(Packet(kind=PacketKind.REQUEST, src=0, dst=1))
+    assert wire.in_flight == 5
+    sim.run()
+    assert wire.max_in_flight == 5
+    assert len(nic.received) == 5
+
+
+# -- tuning knobs ------------------------------------------------------------------
+
+def test_knobs_baseline_detection():
+    assert TuningKnobs().is_baseline
+    assert not TuningKnobs(delta_o=1.0).is_baseline
+
+
+def test_knobs_reject_negative():
+    with pytest.raises(ValueError):
+        TuningKnobs(delta_L=-1.0)
+
+
+def test_knobs_effective_parameters():
+    base = LogGPParams.berkeley_now()
+    knobs = TuningKnobs(delta_o=10.0, delta_g=4.2, delta_L=25.0)
+    effective = knobs.effective(base)
+    assert effective.overhead == pytest.approx(12.9)
+    assert effective.gap == pytest.approx(10.0)
+    assert effective.latency == pytest.approx(30.0)
+
+
+def test_knobs_describe():
+    assert TuningKnobs().describe() == "baseline"
+    assert "+o=5.0us" in TuningKnobs(delta_o=5.0).describe()
+
+
+def test_bulk_bandwidth_dial_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        TuningKnobs.bulk_bandwidth(0.0, LogGPParams.berkeley_now())

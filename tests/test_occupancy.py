@@ -1,0 +1,100 @@
+"""Tests for the occupancy extension (the Flash study's parameter).
+
+Occupancy is NIC-context time per message at *both* interfaces: it
+lengthens every one-way trip by 2·occ and bounds each interface's
+message rate at 1/occ once occ exceeds the gap.
+"""
+
+import pytest
+
+from repro import Cluster, LogGPParams, TuningKnobs
+from repro.apps import RadixSort
+from repro.calibrate import measure_parameters, round_trip_time
+from tests.helpers import Fabric
+
+NOW = LogGPParams.berkeley_now()
+
+
+def _sink(am, packet):
+    am.host.state.setdefault("arrivals", []).append(am.sim.now)
+
+
+def _delivery_time(knobs):
+    fabric = Fabric(knobs=knobs)
+    fabric.table.register("occ_sink", _sink)
+    am0, am1 = fabric.ams
+
+    def sender():
+        yield from am0.send_oneway(1, "occ_sink", payload=0)
+
+    def receiver():
+        yield from am1.wait_until(
+            lambda: bool(am1.host.state.get("arrivals")))
+
+    fabric.run(sender(), receiver())
+    return am1.host.state["arrivals"][0]
+
+
+def test_occupancy_adds_to_one_way_time_at_both_ends():
+    base = _delivery_time(TuningKnobs())
+    dialed = _delivery_time(TuningKnobs.added_occupancy(25.0))
+    # 25 us at the sending NIC (pre-injection) + 25 at the receiving.
+    assert dialed - base == pytest.approx(50.0)
+
+
+def test_occupancy_adds_to_round_trip():
+    base = round_trip_time()
+    dialed = round_trip_time(knobs=TuningKnobs.added_occupancy(10.0))
+    # Four interface traversals per round trip.
+    assert dialed - base == pytest.approx(40.0)
+
+
+def test_occupancy_throttles_message_rate():
+    # A burst through one pair: the receive context serialises at occ.
+    occ = 50.0
+    fabric = Fabric(knobs=TuningKnobs.added_occupancy(occ))
+    fabric.table.register("occ_sink", _sink)
+    am0, am1 = fabric.ams
+    n = 16
+
+    def sender():
+        for i in range(n):
+            yield from am0.send_oneway(1, "occ_sink", payload=i)
+
+    def receiver():
+        yield from am1.wait_until(
+            lambda: len(am1.host.state.get("arrivals", [])) >= n)
+
+    fabric.run(sender(), receiver())
+    arrivals = am1.host.state["arrivals"]
+    spacings = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    # Steady-state spacing is the occupancy, not the (smaller) gap.
+    assert spacings[-1] == pytest.approx(occ, rel=0.05)
+
+
+def test_occupancy_leaves_host_overhead_alone():
+    measured = measure_parameters(
+        knobs=TuningKnobs.added_occupancy(20.0))
+    # o_send is a host cost; occupancy lives on the NIC.
+    assert measured.send_overhead == pytest.approx(NOW.send_overhead,
+                                                   abs=0.1)
+
+
+def test_occupancy_hurts_a_frequently_communicating_app():
+    """The Flash study's observation (quoted in the paper's Section 6):
+    applications are surprisingly sensitive to occupancy — here it bites
+    at least as hard as the same amount of pure latency."""
+    app = RadixSort(keys_per_proc=128)
+    base = Cluster(n_nodes=4, seed=2)
+    baseline = base.run(app).runtime_us
+    occupied = base.with_knobs(
+        TuningKnobs.added_occupancy(25.0)).run(app).runtime_us
+    latent = base.with_knobs(
+        TuningKnobs.added_latency(50.0)).run(app).runtime_us
+    assert occupied / baseline > 2.0
+    assert occupied >= latent  # occ = L-like delay + g-like rate limit
+
+
+def test_occupancy_is_not_baseline():
+    assert not TuningKnobs.added_occupancy(1.0).is_baseline
+    assert "+occ=1.0us" in TuningKnobs.added_occupancy(1.0).describe()

@@ -1,0 +1,314 @@
+"""Unit tests for the discrete-event kernel (engine, events, processes)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+from repro.sim.events import EventError
+
+
+def test_empty_run_leaves_clock_at_zero():
+    sim = Simulator()
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(5.0)
+        yield sim.timeout(2.5)
+
+    sim.process(body())
+    sim.run()
+    assert sim.now == 7.5
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    seen = []
+
+    def body():
+        value = yield sim.timeout(1.0, value="hello")
+        seen.append(value)
+
+    sim.process(body())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value_via_stop_event():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(3.0)
+        return 99
+
+    proc = sim.process(body())
+    assert sim.run(stop_event=proc) == 99
+
+
+def test_events_process_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(waiter(3.0, "c"))
+    sim.process(waiter(1.0, "a"))
+    sim.process(waiter(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_order_at_equal_times():
+    sim = Simulator()
+    order = []
+
+    def waiter(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        sim.process(waiter(tag))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4.0)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        assert result == "done"
+        return sim.now
+
+    proc = sim.process(parent())
+    assert sim.run(stop_event=proc) == 4.0
+
+
+def test_manual_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event("gate")
+
+    def opener():
+        yield sim.timeout(10.0)
+        gate.succeed("opened")
+
+    def waiter():
+        value = yield gate
+        return (sim.now, value)
+
+    sim.process(opener())
+    proc = sim.process(waiter())
+    assert sim.run(stop_event=proc) == (10.0, "opened")
+
+
+def test_event_double_trigger_is_error():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(EventError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_is_error():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(EventError):
+        _ = event.value
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("oops")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="oops"):
+        sim.run()
+
+
+def test_yielding_non_event_raises_typeerror_in_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_non_generator_process_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_interrupt_preempts_wait():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("overslept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def interrupter(victim):
+        yield sim.timeout(5.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert log == [("interrupted", 5.0, "wake up")]
+
+
+def test_interrupted_process_can_wait_again():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(7.0)
+        log.append(sim.now)
+
+    def interrupter(victim):
+        yield sim.timeout(5.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    # Abandoned 100 us timeout must not wake the process later.
+    assert log == [12.0]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_run_until_stops_midway():
+    sim = Simulator()
+    log = []
+
+    def body():
+        yield sim.timeout(10.0)
+        log.append("ran")
+
+    sim.process(body())
+    sim.run(until=5.0)
+    assert sim.now == 5.0 and log == []
+    sim.run()
+    assert log == ["ran"] and sim.now == 10.0
+
+
+def test_stop_event_timeout_error_when_never_fires():
+    sim = Simulator()
+    never = sim.event()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    sim.process(body())
+    with pytest.raises(TimeoutError):
+        sim.run(stop_event=never)
+
+
+def test_anyof_succeeds_on_first():
+    sim = Simulator()
+
+    def body():
+        first = sim.timeout(3.0, value="slow")
+        second = sim.timeout(1.0, value="fast")
+        result = yield sim.any_of([first, second])
+        return (sim.now, list(result.values()))
+
+    proc = sim.process(body())
+    assert sim.run(stop_event=proc) == (1.0, ["fast"])
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def body():
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        result = yield sim.all_of(events)
+        return (sim.now, sorted(result.values()))
+
+    proc = sim.process(body())
+    assert sim.run(stop_event=proc) == (3.0, [1.0, 2.0, 3.0])
+
+
+def test_allof_empty_list_succeeds_immediately():
+    sim = Simulator()
+
+    def body():
+        yield sim.all_of([])
+        return sim.now
+
+    proc = sim.process(body())
+    assert sim.run(stop_event=proc) == 0.0
+
+
+def test_events_processed_counter_increases():
+    sim = Simulator()
+
+    def body():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    sim.process(body())
+    sim.run()
+    assert sim.events_processed >= 5

@@ -1,0 +1,115 @@
+"""Tests for the reusable software-managed read cache."""
+
+import pytest
+
+from repro import Cluster
+from repro.apps import PRay
+from repro.apps.base import Application
+from repro.gas.cache import SoftwareCache
+from repro.gas.memory import GlobalArray
+
+
+class _CacheApp(Application):
+    name = "cache-app"
+
+    def __init__(self, capacity, accesses):
+        self.capacity = capacity
+        self.accesses = accesses
+
+    def run_rank(self, proc):
+        array = proc.allocate(4 * proc.n_ranks, name="cached")
+        local = proc.local(array)
+        start = array.local_start(proc.rank)
+        local[:] = [start + i for i in range(len(local))]
+        yield from proc.barrier()
+        cache = SoftwareCache(array, self.capacity)
+        proc.state["cache"] = cache
+        for index in self.accesses:
+            value = yield from cache.read(proc, index)
+            assert int(value) == index
+        yield from proc.barrier()
+
+
+def run_cache_app(capacity, accesses, n_nodes=2):
+    cluster = Cluster(n_nodes=n_nodes, seed=1)
+    app = _CacheApp(capacity, accesses)
+    return cluster.run(app)
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        SoftwareCache(GlobalArray(0, 8, 2), 0)
+
+
+def test_repeated_remote_reads_hit_after_first_miss():
+    # Rank 0 reads element 7 (owned by rank 1) three times.
+    result = run_cache_app(capacity=4, accesses=[7, 7, 7])
+    cache0 = result.output if result.output else None
+    # Stats live on the proc state; check via message counts: only one
+    # remote fetch per rank despite three accesses each.
+    read_requests = result.stats.read_messages_sent.sum()
+    # Each rank misses once for its one remote element: request+reply
+    # per miss => 2 read messages x 2 ranks... but element 7 is local
+    # to rank 1, so only rank 0 fetches (and vice versa for nothing).
+    assert read_requests <= 4
+
+
+def test_eviction_with_tiny_capacity():
+    # Alternate between two remote elements with capacity 1: every
+    # access after the first pair misses.
+    accesses = [4, 5, 4, 5, 4, 5]
+    result = run_cache_app(capacity=1, accesses=accesses)
+    assert result.stats.read_messages_sent.sum() > 4
+
+
+def test_local_elements_never_cached():
+    class _LocalOnly(Application):
+        name = "local-only"
+
+        def run_rank(self, proc):
+            array = proc.allocate(2 * proc.n_ranks, name="l")
+            yield from proc.barrier()
+            cache = SoftwareCache(array, 4)
+            start = array.local_start(proc.rank)
+            for _ in range(5):
+                yield from cache.read(proc, start)
+            assert cache.local_accesses == 5
+            assert cache.hits == 0 and cache.misses == 0
+            assert len(cache) == 0
+
+    Cluster(n_nodes=2, seed=1).run(_LocalOnly())
+
+
+def test_invalidate_forces_refetch():
+    class _Invalidating(Application):
+        name = "invalidating"
+
+        def run_rank(self, proc):
+            array = proc.allocate(2 * proc.n_ranks, name="inv")
+            yield from proc.barrier()
+            cache = SoftwareCache(array, 4)
+            remote = (array.local_start(proc.rank)
+                      + 2 * proc.n_ranks // 2) % array.length
+            if array.owner_of(remote)[0] == proc.rank:
+                remote = (remote + 2) % array.length
+            yield from cache.read(proc, remote)
+            yield from cache.read(proc, remote)
+            assert cache.misses == 1 and cache.hits == 1
+            cache.invalidate()
+            yield from cache.read(proc, remote)
+            assert cache.misses == 2
+
+    Cluster(n_nodes=2, seed=1).run(_Invalidating())
+
+
+def test_stats_row_shape():
+    cache = SoftwareCache(GlobalArray(0, 8, 2), 4)
+    row = cache.stats_row()
+    assert row["capacity"] == 4
+    assert row["hit_rate"] == 0.0
+
+
+def test_pray_still_correct_with_shared_cache():
+    result = Cluster(n_nodes=4, seed=2).run(
+        PRay(pixels_per_proc=16, n_objects=64))
+    assert result.output.shape == (64,)

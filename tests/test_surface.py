@@ -1,0 +1,63 @@
+"""Tests for 2-D sensitivity surfaces."""
+
+import pytest
+
+from repro.harness.surface import (SensitivitySurface,
+                                   overhead_gap_surface,
+                                   sensitivity_surface)
+
+
+def small_surface():
+    return sensitivity_surface(
+        "Radb", n_nodes=4, x_dial="overhead", x_values=(25.0,),
+        y_dial="gap", y_values=(25.0,), scale=0.05)
+
+
+def test_unknown_dial_rejected():
+    with pytest.raises(ValueError):
+        sensitivity_surface("Radix", 2, "colour", (1.0,), "gap", (1.0,))
+
+
+def test_baseline_corner_is_one():
+    surface = small_surface()
+    assert surface.at(0.0, 0.0) == pytest.approx(1.0)
+
+
+def test_grid_includes_zero_automatically():
+    surface = small_surface()
+    assert surface.x_values[0] == 0.0
+    assert surface.y_values[0] == 0.0
+    assert len(surface.slowdown) == 4
+
+
+def test_surface_monotone():
+    surface = small_surface()
+    assert surface.is_monotone()
+    assert surface.at(25.0, 25.0) >= surface.at(25.0, 0.0)
+
+
+def test_interaction_excess_definition():
+    surface = SensitivitySurface(
+        app_name="x", n_nodes=2, x_dial="overhead", y_dial="gap",
+        x_values=[0.0, 10.0], y_values=[0.0, 10.0],
+        slowdown={(0.0, 0.0): 1.0, (10.0, 0.0): 3.0,
+                  (0.0, 10.0): 2.0, (10.0, 10.0): 4.5})
+    # independent composition: 3 + 2 - 1 = 4; measured 4.5 -> +0.5.
+    assert surface.interaction_excess(10.0, 10.0) \
+        == pytest.approx(0.5)
+
+
+def test_rows_and_render():
+    surface = small_surface()
+    rows = surface.rows()
+    assert len(rows) == 2
+    text = surface.render()
+    assert "surface" in text
+    assert len(text.splitlines()) == 4  # title + header + 2 rows
+
+
+def test_overhead_gap_surface_shortcut():
+    surface = overhead_gap_surface(app_name="Radb", n_nodes=2,
+                                   values=(50.0,), scale=0.05)
+    assert surface.x_dial == "overhead" and surface.y_dial == "gap"
+    assert surface.at(50.0, 50.0) > 1.0
