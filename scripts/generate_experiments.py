@@ -5,7 +5,15 @@ Runs the complete evaluation at the benchmark scale and writes a
 markdown report pairing each of the paper's headline numbers with this
 reproduction's measurements.
 
-Usage:  python scripts/generate_experiments.py [--scale 0.5] [--out EXPERIMENTS.md]
+The artifacts are independent, so they are computed upfront — fanned
+across ``--jobs`` worker processes — and rendered afterwards.  Completed
+sweep points are memoised in the on-disk run cache (``~/.cache/repro``
+unless ``REPRO_CACHE_DIR`` / ``--cache-dir`` says otherwise), so
+re-running the script only simulates configurations it has never seen.
+
+Usage:
+    python scripts/generate_experiments.py [--scale 0.5] [--out EXPERIMENTS.md]
+        [--jobs N] [--no-cache] [--cache-dir DIR] [--apps Radix,Sample,...]
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ import sys
 import time
 
 from repro.calibrate import calibrate_bulk_bandwidth
-from repro.harness import experiments
+from repro.harness import RunCache
+from repro.harness.parallel import run_experiments_parallel
 
 
 def fmt(value, digits=2):
@@ -28,9 +37,76 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment fan-out "
+                        "(default 1: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk run cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="run cache directory (default ~/.cache/repro "
+                        "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated subset of Table 3 app names "
+                        "(reduced grid for smoke runs)")
     args = parser.parse_args(argv)
     scale = args.scale
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    selected = None if args.apps is None else \
+        [name.strip() for name in args.apps.split(",") if name.strip()]
+
+    def pick(*names):
+        """Intersect a hard-coded app list with the --apps selection."""
+        if selected is None:
+            return list(names)
+        return [name for name in names if name in selected]
+
     started = time.time()
+
+    # Sweep-based experiments consult/extend the run cache; with an
+    # experiment-level pool active, inner sweeps stay serial (jobs=1)
+    # to avoid nested pools.
+    sweep_kwargs = {"names": selected, "cache": cache}
+    overheads = (2.9, 12.9, 52.9, 102.9)
+    gaps = (5.8, 15.0, 55.0, 105.0)
+    latencies = (5.0, 15.0, 55.0, 105.0)
+    bandwidths = (38.0, 15.0, 10.0, 5.5, 1.0)
+    requests = [
+        ("table1_baseline_params", {}),
+        ("figure3_signature", {"desired_gap": 14.0}),
+        ("table2_calibration", {"desired_o": (2.9, 12.9, 52.9, 102.9),
+                                "desired_g": (5.8, 15.0, 55.0, 105.0),
+                                "desired_L": (5.0, 15.0, 55.0, 105.0)}),
+        ("table3_baseline_runtimes", {"node_counts": (16, 32),
+                                      "scale": scale, "names": selected}),
+        ("table4_comm_summary", {"n_nodes": 32, "scale": scale,
+                                 "names": selected}),
+        ("figure4_balance", {"n_nodes": 32, "scale": scale,
+                             "names": pick("Radix", "EM3D(write)",
+                                           "Sample", "NOW-sort")}),
+        ("figure5_overhead", {"n_nodes": 16, "scale": scale,
+                              "overheads": overheads, **sweep_kwargs}),
+        ("figure5_overhead", {"n_nodes": 32, "scale": scale,
+                              "overheads": overheads, **sweep_kwargs}),
+        ("table5_overhead_model", {"n_nodes": 32, "scale": scale,
+                                   "overheads": overheads, "cache": cache,
+                                   "names": pick("Radix", "EM3D(write)",
+                                                 "Sample", "NOW-sort",
+                                                 "Radb")}),
+        ("figure6_gap", {"n_nodes": 32, "scale": scale, "gaps": gaps,
+                         **sweep_kwargs}),
+        ("table6_gap_model", {"n_nodes": 32, "scale": scale, "gaps": gaps,
+                              "cache": cache,
+                              "names": pick("Radix", "EM3D(write)",
+                                            "Sample", "NOW-sort",
+                                            "Connect")}),
+        ("figure7_latency", {"n_nodes": 32, "scale": scale,
+                             "latencies": latencies, **sweep_kwargs}),
+        ("figure8_bulk", {"n_nodes": 32, "scale": scale,
+                          "bandwidths": bandwidths, **sweep_kwargs}),
+    ]
+    (t1, sig, t2, t3, t4, fig4, fig5_16, fig5_32, t5, fig6, t6, fig7,
+     fig8) = run_experiments_parallel(requests, jobs=args.jobs)
+
     out = []
     w = out.append
 
@@ -43,7 +119,6 @@ def main(argv=None) -> int:
       "*shape*: orderings, factors, linearity, crossovers.\n")
 
     # ---- Table 1 ---------------------------------------------------------
-    t1 = experiments.table1_baseline_params()
     w("## Table 1 — baseline LogGP parameters\n")
     w("| platform | paper (o, g, L, MB/s) | measured (o, g, L, MB/s) |")
     w("|---|---|---|")
@@ -61,7 +136,6 @@ def main(argv=None) -> int:
       "paper also observed.\n")
 
     # ---- Figure 3 --------------------------------------------------------
-    sig = experiments.figure3_signature(14.0)
     w("## Figure 3 — LogP signature (g dialed to 14 µs)\n")
     w("```\n" + sig.render() + "\n```")
     w(f"- paper: o_send ≈ 1.8 µs; measured: "
@@ -72,10 +146,6 @@ def main(argv=None) -> int:
       f"{fmt(sig.steady_state(10.0))} µs\n")
 
     # ---- Table 2 ---------------------------------------------------------
-    t2 = experiments.table2_calibration(
-        desired_o=(2.9, 12.9, 52.9, 102.9),
-        desired_g=(5.8, 15.0, 55.0, 105.0),
-        desired_L=(5.0, 15.0, 55.0, 105.0))
     w("## Table 2 — calibration of the dials\n")
     w("```\n" + t2.render() + "\n```")
     w("Shape checks (all reproduce the paper):")
@@ -88,8 +158,6 @@ def main(argv=None) -> int:
       " µs).\n")
 
     # ---- Table 3 ---------------------------------------------------------
-    t3 = experiments.table3_baseline_runtimes(node_counts=(16, 32),
-                                              scale=scale)
     w("## Table 3 — base runtimes, fixed input, 16 vs 32 nodes\n")
     w("| program | paper 16/32-node (s) | measured 16/32-node (ms) | "
       "measured speedup |")
@@ -111,7 +179,6 @@ def main(argv=None) -> int:
       "speedup at reduced key counts — the Section 5.1 effect.\n")
 
     # ---- Figure 4 / Table 4 ----------------------------------------------
-    t4 = experiments.table4_comm_summary(n_nodes=32, scale=scale)
     w("## Table 4 — communication summary (32 nodes)\n")
     w("```\n" + t4.render() + "\n```")
     w("Paper-vs-measured orderings that hold: Radix/EM3D(write)/Sample "
@@ -120,9 +187,6 @@ def main(argv=None) -> int:
       "P-Ray/Barnes/NOW-sort/Radb carry the bulk\ntraffic (paper: "
       "48/23/50/35%).\n")
 
-    fig4 = experiments.figure4_balance(
-        n_nodes=32, scale=scale,
-        names=["Radix", "EM3D(write)", "Sample", "NOW-sort"])
     w("## Figure 4 — communication balance (selected matrices)\n")
     for name, result in fig4.results.items():
         w("```\n" + result.render_balance() + "\n```")
@@ -132,11 +196,6 @@ def main(argv=None) -> int:
       "solid balanced square.\n")
 
     # ---- Figures 5-8 + Tables 5-6 ------------------------------------------
-    overheads = (2.9, 12.9, 52.9, 102.9)
-    fig5_16 = experiments.figure5_overhead(n_nodes=16, scale=scale,
-                                           overheads=overheads)
-    fig5_32 = experiments.figure5_overhead(n_nodes=32, scale=scale,
-                                           overheads=overheads)
     w("## Figure 5 — sensitivity to overhead\n")
     w("```\n" + fig5_32.render() + "\n```")
     w("| app | paper max slowdown (32n, o≈103) | measured 16n | "
@@ -150,38 +209,36 @@ def main(argv=None) -> int:
         w(f"| {name} | {paper_f5[name]} | "
           f"{fmt(fig5_16.max_slowdown(name))}x | "
           f"{fmt(fig5_32.max_slowdown(name))}x |")
-    from repro.models import OverheadModel
+    if "Radix" in fig5_32.sweeps:
+        from repro.models import OverheadModel
 
-    def radix_residual(figure):
-        sweep = figure.sweeps["Radix"]
-        base = sweep.baseline.result
-        model = OverheadModel(
-            base_runtime_us=base.runtime_us,
-            max_messages_per_proc=base.stats.max_messages_per_node)
-        top = sweep.points[-1]
-        return top.runtime_us / model.predict_runtime(
-            top.value - sweep.points[0].value)
+        def radix_residual(figure):
+            sweep = figure.sweeps["Radix"]
+            base = sweep.baseline.result
+            model = OverheadModel(
+                base_runtime_us=base.runtime_us,
+                max_messages_per_proc=base.stats.max_messages_per_node)
+            top = sweep.points[-1]
+            return top.runtime_us / model.predict_runtime(
+                top.value - sweep.points[0].value)
 
-    residual16 = radix_residual(fig5_16)
-    residual32 = radix_residual(fig5_32)
-    w(f"\nSerialization effect: the 2·m·Δo model under-predicts Radix "
-      f"by {fmt((residual16 - 1) * 100, 0)}% on 16\nnodes and "
-      f"{fmt((residual32 - 1) * 100, 0)}% on 32 nodes — the serial "
-      "residual grows with P, the paper's\nSection 5.1 analysis.  (At "
-      "the paper's 16M keys the effect also flips the raw\nslowdown "
-      "ratio, 57x vs ~25x; at reduced key counts the distribution "
-      "term shrinks\nfaster than at full scale, so only the residual "
-      "direction reproduces.)  Response\nis linear for every app, as "
-      "in the paper.\nDivergence: our Barnes completes "
-      "under high overhead (lock retries are paced by\nfull round "
-      "trips, so the retry storm stays bounded at our body counts); "
-      "the\nfailed-lock-attempt counter and the livelock budget "
-      "reproduce the paper's\ndiagnostic, but the emergent livelock "
-      "itself needs the paper's 1M-body scale.\n")
+        residual16 = radix_residual(fig5_16)
+        residual32 = radix_residual(fig5_32)
+        w(f"\nSerialization effect: the 2·m·Δo model under-predicts Radix "
+          f"by {fmt((residual16 - 1) * 100, 0)}% on 16\nnodes and "
+          f"{fmt((residual32 - 1) * 100, 0)}% on 32 nodes — the serial "
+          "residual grows with P, the paper's\nSection 5.1 analysis.  (At "
+          "the paper's 16M keys the effect also flips the raw\nslowdown "
+          "ratio, 57x vs ~25x; at reduced key counts the distribution "
+          "term shrinks\nfaster than at full scale, so only the residual "
+          "direction reproduces.)  Response\nis linear for every app, as "
+          "in the paper.\nDivergence: our Barnes completes "
+          "under high overhead (lock retries are paced by\nfull round "
+          "trips, so the retry storm stays bounded at our body counts); "
+          "the\nfailed-lock-attempt counter and the livelock budget "
+          "reproduce the paper's\ndiagnostic, but the emergent livelock "
+          "itself needs the paper's 1M-body scale.\n")
 
-    t5 = experiments.table5_overhead_model(
-        n_nodes=32, scale=scale, overheads=overheads,
-        names=["Radix", "EM3D(write)", "Sample", "NOW-sort", "Radb"])
     w("## Table 5 — overhead model (r + 2·m·Δo)\n")
     w("```\n" + t5.render() + "\n```")
     w("As in the paper: accurate for the frequently communicating, "
@@ -189,8 +246,6 @@ def main(argv=None) -> int:
       "Radix at high overhead (the serial\nhistogram phase the "
       "busiest-processor model cannot see).\n")
 
-    gaps = (5.8, 15.0, 55.0, 105.0)
-    fig6 = experiments.figure6_gap(n_nodes=32, scale=scale, gaps=gaps)
     w("## Figure 6 — sensitivity to gap\n")
     w("```\n" + fig6.render() + "\n```")
     w("| app | paper slowdown at g=105 | measured |")
@@ -206,17 +261,11 @@ def main(argv=None) -> int:
       "shrug — and the\nresponse is linear (bursty traffic), which is "
       "why the burst model fits.\n")
 
-    t6 = experiments.table6_gap_model(
-        n_nodes=32, scale=scale, gaps=gaps,
-        names=["Radix", "EM3D(write)", "Sample", "NOW-sort", "Connect"])
     w("## Table 6 — burst gap model (r + m·Δg)\n")
     w("```\n" + t6.render() + "\n```")
     w("Tracks the heavy communicators; over-predicts overall since not "
       "every message\nis sent inside a burst — both as in the paper.\n")
 
-    latencies = (5.0, 15.0, 55.0, 105.0)
-    fig7 = experiments.figure7_latency(n_nodes=32, scale=scale,
-                                       latencies=latencies)
     w("## Figure 7 — sensitivity to latency\n")
     w("```\n" + fig7.render() + "\n```")
     w("| app | paper slowdown at L=105 | measured |")
@@ -233,20 +282,18 @@ def main(argv=None) -> int:
       "Latency matters least of the four\nparameters, as the paper "
       "concludes.\n")
 
-    bandwidths = (38.0, 15.0, 10.0, 5.5, 1.0)
-    fig8 = experiments.figure8_bulk(n_nodes=32, scale=scale,
-                                    bandwidths=bandwidths)
     w("## Figure 8 — sensitivity to bulk bandwidth\n")
     w("```\n" + fig8.render() + "\n```")
     w("| app | measured slowdown at 1 MB/s |")
     w("|---|---|")
     for name in fig8.sweeps:
         w(f"| {name} | {fmt(fig8.max_slowdown(name))}x |")
-    nowsort = dict(fig8.sweeps["NOW-sort"].series())
-    w(f"\nPaper headlines reproduced: nothing reacts until ~15 MB/s; "
-      f"no slowdown beyond\n~3x even at 1 MB/s; NOW-sort is disk-limited "
-      f"(at 5.5 MB/s it is {fmt(nowsort[5.5])}x, only at\n1 MB/s does "
-      f"it reach {fmt(nowsort[1.0])}x).\n")
+    if "NOW-sort" in fig8.sweeps:
+        nowsort = dict(fig8.sweeps["NOW-sort"].series())
+        w(f"\nPaper headlines reproduced: nothing reacts until ~15 MB/s; "
+          f"no slowdown beyond\n~3x even at 1 MB/s; NOW-sort is "
+          f"disk-limited (at 5.5 MB/s it is {fmt(nowsort[5.5])}x, only "
+          f"at\n1 MB/s does it reach {fmt(nowsort[1.0])}x).\n")
 
     # ---- bulk calibration footnote ------------------------------------------
     bulk = calibrate_bulk_bandwidth()
@@ -260,7 +307,10 @@ def main(argv=None) -> int:
 
     with open(args.out, "w") as fh:
         fh.write("\n".join(out) + "\n")
-    print(f"wrote {args.out} in {elapsed:.0f}s")
+    message = f"wrote {args.out} in {elapsed:.0f}s"
+    if cache is not None:
+        message += f" [{cache.describe()}]"
+    print(message)
     return 0
 
 

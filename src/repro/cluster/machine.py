@@ -65,6 +65,39 @@ class RunResult:
             raise ValueError("baseline runtime is not positive")
         return self.runtime_us / baseline.runtime_us
 
+    # -- serialisation (the on-disk run cache) -------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict of everything except ``output``.
+
+        ``output`` is whatever the application's ``finalize`` returned
+        (often large numpy arrays used only for correctness checks), so
+        the cache drops it; a cache-restored result has ``output=None``.
+        """
+        import dataclasses
+        return {
+            "app_name": self.app_name,
+            "n_nodes": self.n_nodes,
+            "params": dataclasses.asdict(self.params),
+            "knobs": dataclasses.asdict(self.knobs),
+            "runtime_us": self.runtime_us,
+            "stats": self.stats.to_dict(),
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result produced by :meth:`to_dict` (no ``output``)."""
+        return cls(
+            app_name=data["app_name"],
+            n_nodes=data["n_nodes"],
+            params=LogGPParams(**data["params"]),
+            knobs=TuningKnobs(**data["knobs"]),
+            runtime_us=data["runtime_us"],
+            stats=ClusterStats.from_dict(data["stats"]),
+            output=None,
+            events_processed=data["events_processed"],
+        )
+
 
 class Cluster:
     """A simulated cluster with dialable communication performance.

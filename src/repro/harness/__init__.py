@@ -5,6 +5,10 @@
   the same inputs on 16 and 32 nodes).
 * :mod:`repro.harness.sweeps` -- LogGP parameter sweeps producing
   slowdown curves (Figures 5-8).
+* :mod:`repro.harness.parallel` -- process-pool fan-out of sweep points
+  and whole experiments (bit-identical to serial execution).
+* :mod:`repro.harness.runcache` -- content-addressed on-disk cache of
+  completed runs, so regenerating artifacts skips known points.
 * :mod:`repro.harness.experiments` -- one entry point per table/figure
   of the paper's evaluation.
 * :mod:`repro.harness.report` -- ASCII tables and line plots.
@@ -14,6 +18,9 @@ from repro.harness.suite import suite_for, REFERENCE_NODES
 from repro.harness.sweeps import (SweepPoint, SweepResult, run_sweep,
                                   overhead_sweep, gap_sweep, latency_sweep,
                                   bulk_bandwidth_sweep)
+from repro.harness.parallel import (run_sweep_parallel,
+                                    run_experiments_parallel)
+from repro.harness.runcache import RunCache
 from repro.harness.report import ascii_plot, render_table
 from repro.harness.config import ExperimentConfig
 from repro.harness.surface import sensitivity_surface, overhead_gap_surface
@@ -22,7 +29,8 @@ from repro.harness.export import (write_matrix_csv, write_rows_csv,
 
 __all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
            "run_sweep", "overhead_sweep", "gap_sweep", "latency_sweep",
-           "bulk_bandwidth_sweep", "ascii_plot", "render_table",
-           "ExperimentConfig", "sensitivity_surface",
+           "bulk_bandwidth_sweep", "run_sweep_parallel",
+           "run_experiments_parallel", "RunCache", "ascii_plot",
+           "render_table", "ExperimentConfig", "sensitivity_surface",
            "overhead_gap_surface", "write_rows_csv", "write_matrix_csv",
            "write_series_csv"]

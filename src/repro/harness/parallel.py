@@ -1,0 +1,218 @@
+"""Parallel execution of sweep points and whole experiments.
+
+Every point of Figures 5-8 (and every table artifact) is an independent
+deterministic simulation, so the evaluation is embarrassingly parallel
+at two granularities:
+
+* **sweep points** — :func:`run_sweep_parallel` fans the (value, knobs)
+  grid of one sweep across a ``ProcessPoolExecutor``.  Each worker runs
+  the exact same :func:`execute_point` the serial path uses, so results
+  are bit-identical to serial execution (same seed → same ``runtime_us``
+  and ``events_processed``) and livelocked / over-budget points come
+  back as the same ``N/A`` :class:`~repro.harness.sweeps.SweepPoint`.
+* **experiments** — :func:`run_experiments_parallel` fans whole
+  figure/table entry points of :mod:`repro.harness.experiments` across
+  workers, for drivers like ``scripts/generate_experiments.py`` that
+  regenerate many artifacts at once.
+
+Both layers consult an optional :class:`~repro.harness.runcache.
+RunCache` so previously computed points are never re-simulated; cache
+probing happens in the parent, and only misses are shipped to workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import Cluster
+from repro.gas.runtime import LivelockError
+from repro.harness.runcache import RunCache, run_key_spec
+from repro.harness.sweeps import SweepPoint, SweepResult
+from repro.network.loggp import LogGPParams
+
+__all__ = ["execute_point", "run_sweep_points", "run_sweep_parallel",
+           "run_experiments_parallel", "default_jobs", "PointTask"]
+
+
+def default_jobs() -> int:
+    """Worker count when unspecified: one per available core."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    """A process pool preferring fork (cheap, pytest-safe) over spawn."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One sweep point's full configuration (picklable work unit)."""
+
+    app: Any
+    n_nodes: int
+    value: float
+    knobs: TuningKnobs
+    params: LogGPParams
+    seed: int = 0
+    run_limit_us: Optional[float] = None
+    livelock_limit: int = 200_000
+    window: int = 8
+
+    def key_spec(self) -> Dict[str, Any]:
+        """The cache key-spec for this point."""
+        return run_key_spec(
+            self.app, self.n_nodes, self.params, self.knobs, self.seed,
+            run_limit_us=self.run_limit_us,
+            livelock_limit=self.livelock_limit, window=self.window)
+
+
+def execute_point(task: PointTask) -> SweepPoint:
+    """Run one sweep point to completion (or to its N/A failure).
+
+    This is the single execution path shared by the serial sweep loop
+    and the process-pool workers — which is what guarantees parallel
+    results are bit-identical to serial ones.
+    """
+    cluster = Cluster(n_nodes=task.n_nodes, params=task.params,
+                      knobs=task.knobs, seed=task.seed,
+                      run_limit_us=task.run_limit_us,
+                      livelock_limit=task.livelock_limit,
+                      window=task.window)
+    point = SweepPoint(value=task.value, knobs=task.knobs)
+    try:
+        point.result = cluster.run(task.app)
+    except LivelockError as exc:
+        point.failure = f"livelock: {exc}"
+    except TimeoutError as exc:
+        point.failure = f"budget exceeded: {exc}"
+    return point
+
+
+def run_sweep_points(app: Any, n_nodes: int, parameter: str,
+                     values: Sequence[float],
+                     knob_for: Callable[[float], TuningKnobs],
+                     params: Optional[LogGPParams] = None,
+                     seed: int = 0,
+                     run_limit_us: Optional[float] = None,
+                     livelock_limit: int = 200_000,
+                     window: int = 8,
+                     jobs: Optional[int] = None,
+                     cache: Optional[RunCache] = None) -> SweepResult:
+    """The sweep engine behind :func:`repro.harness.sweeps.run_sweep`.
+
+    ``jobs=None`` or ``jobs<=1`` runs points serially in-process;
+    ``jobs>1`` fans cache misses across a process pool.  Point order in
+    the returned :class:`SweepResult` always matches ``values``.
+    """
+    params = params if params is not None else LogGPParams.berkeley_now()
+    tasks = [
+        PointTask(app=app, n_nodes=n_nodes, value=value,
+                  knobs=knob_for(value), params=params, seed=seed,
+                  run_limit_us=run_limit_us,
+                  livelock_limit=livelock_limit, window=window)
+        for value in values
+    ]
+    points: List[Optional[SweepPoint]] = [None] * len(tasks)
+
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            outcome = cache.get(task.key_spec())
+            if outcome is not None:
+                result, failure = outcome
+                points[index] = SweepPoint(value=task.value,
+                                           knobs=task.knobs,
+                                           result=result, failure=failure)
+                continue
+        pending.append(index)
+
+    workers = jobs if jobs is not None else 1
+    if pending and workers > 1:
+        with _pool(min(workers, len(pending))) as pool:
+            computed = list(pool.map(execute_point,
+                                     [tasks[i] for i in pending]))
+        for index, point in zip(pending, computed):
+            points[index] = point
+    else:
+        for index in pending:
+            points[index] = execute_point(tasks[index])
+
+    if cache is not None:
+        for index in pending:
+            point = points[index]
+            cache.put(tasks[index].key_spec(),
+                      result=point.result, failure=point.failure)
+
+    sweep = SweepResult(app_name=app.name, n_nodes=n_nodes,
+                        parameter=parameter)
+    sweep.points = points
+    return sweep
+
+
+def run_sweep_parallel(app: Any, n_nodes: int, parameter: str,
+                       values: Sequence[float],
+                       knob_for: Callable[[float], TuningKnobs],
+                       jobs: Optional[int] = None,
+                       **kwargs) -> SweepResult:
+    """:func:`run_sweep_points` with a pool sized to the machine.
+
+    Accepts every keyword :func:`repro.harness.sweeps.run_sweep` does,
+    plus ``cache``; ``jobs`` defaults to one worker per core.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    return run_sweep_points(app, n_nodes, parameter, values, knob_for,
+                            jobs=jobs, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Experiment-level fan-out.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ExperimentTask:
+    """One ``repro.harness.experiments`` entry point invocation."""
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def _run_experiment(task: _ExperimentTask) -> Any:
+    from repro.harness import experiments
+    return getattr(experiments, task.name)(**task.kwargs)
+
+
+def run_experiments_parallel(requests: Sequence[Tuple[str, Dict[str, Any]]],
+                             jobs: Optional[int] = None) -> List[Any]:
+    """Run many experiment entry points, fanned across worker processes.
+
+    ``requests`` is a sequence of ``(name, kwargs)`` pairs where ``name``
+    is an attribute of :mod:`repro.harness.experiments` (e.g.
+    ``"figure5_overhead"``).  Results come back in request order, each
+    exactly what the named entry point returns.  With ``jobs<=1`` the
+    requests run serially in-process (identical results, no pool).
+    """
+    tasks = []
+    for name, kwargs in requests:
+        from repro.harness import experiments
+        if not hasattr(experiments, name):
+            raise KeyError(f"unknown experiment {name!r}")
+        tasks.append(_ExperimentTask(name=name, kwargs=dict(kwargs)))
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_experiment(task) for task in tasks]
+    with _pool(min(jobs, len(tasks))) as pool:
+        return list(pool.map(_run_experiment, tasks))

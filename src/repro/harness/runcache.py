@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache of completed simulation runs.
+
+Every sweep point of the paper's evaluation is a *pure function* of its
+configuration: (application + inputs, cluster shape, LogGP parameters,
+tuning dials, seed, run limits) fully determine ``runtime_us`` and every
+communication counter.  Regenerating a table or figure therefore only
+needs to simulate points it has never seen.
+
+The cache is one JSON file per run under a root directory (default
+``~/.cache/repro``, overridable with the ``REPRO_CACHE_DIR`` environment
+variable or the constructor), named by a SHA-256 of the canonical
+key-spec JSON.  Entries store the full :class:`~repro.cluster.machine.
+RunResult` counters — enough to rebuild figures *and* the Table 5/6
+models — or the failure string for livelocked / over-budget points.
+``output`` (the application's finalize payload) is not cached; restored
+results carry ``output=None``.
+
+Writes are atomic (temp file + rename) so concurrent sweep workers can
+share one cache directory safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import RunResult
+from repro.cluster.node import CostModel
+from repro.network.loggp import LogGPParams
+
+__all__ = ["RunCache", "run_key_spec", "app_fingerprint"]
+
+#: Bump to invalidate every existing cache entry when the simulator's
+#: event semantics change in a way that alters measured runtimes.
+CACHE_FORMAT = 1
+
+
+def app_fingerprint(app: Any) -> Dict[str, Any]:
+    """A stable description of an application instance's configuration.
+
+    Mirrors :meth:`repro.harness.config.ExperimentConfig.from_run`: the
+    constructor-signature parameters that exist as instance attributes
+    are the app's input configuration (all suite apps follow this
+    convention).  Values that are not JSON types are keyed by ``repr``.
+    """
+    app_class = type(app)
+    kwargs = {}
+    for parameter in inspect.signature(app_class.__init__).parameters.values():
+        if parameter.name == "self":
+            continue
+        if hasattr(app, parameter.name):
+            kwargs[parameter.name] = getattr(app, parameter.name)
+    return {
+        "class": f"{app_class.__module__}.{app_class.__qualname__}",
+        "name": app.name,
+        "kwargs": kwargs,
+    }
+
+
+def run_key_spec(app: Any, n_nodes: int,
+                 params: LogGPParams, knobs: TuningKnobs,
+                 seed: int,
+                 run_limit_us: Optional[float] = None,
+                 livelock_limit: int = 200_000,
+                 window: int = 8,
+                 window_scope: str = "per-destination",
+                 fabric: str = "flat",
+                 disks_per_node: int = 2,
+                 cost: Optional[CostModel] = None) -> Dict[str, Any]:
+    """Everything that determines one run's outcome, as a JSON dict."""
+    return {
+        "format": CACHE_FORMAT,
+        "app": app_fingerprint(app),
+        "n_nodes": n_nodes,
+        "params": dataclasses.asdict(params),
+        "knobs": dataclasses.asdict(knobs),
+        "seed": seed,
+        "run_limit_us": run_limit_us,
+        "livelock_limit": livelock_limit,
+        "window": window,
+        "window_scope": window_scope,
+        "fabric": fabric,
+        "disks_per_node": disks_per_node,
+        "cost": dataclasses.asdict(cost if cost is not None else CostModel()),
+    }
+
+
+class RunCache:
+    """Content-addressed store of run outcomes (results and failures)."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or \
+                Path.home() / ".cache" / "repro"
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+    @staticmethod
+    def key_for(spec: Dict[str, Any]) -> str:
+        """SHA-256 of the canonical (sorted, repr-defaulted) spec JSON."""
+        canonical = json.dumps(spec, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- lookup / store ----------------------------------------------------
+    def get(self, spec: Dict[str, Any]
+            ) -> Optional[Tuple[Optional[RunResult], Optional[str]]]:
+        """The cached ``(result, failure)`` outcome, or None on a miss.
+
+        Exactly one element of the pair is set: a completed run restores
+        its :class:`RunResult`; a livelocked / over-budget run restores
+        its failure string.  Unreadable or corrupt entries count as
+        misses (and will be overwritten by the next :meth:`put`).
+        """
+        path = self._path(self.key_for(spec))
+        try:
+            data = json.loads(path.read_text())
+            if data["spec"]["format"] != CACHE_FORMAT:
+                raise ValueError("stale cache format")
+            if data["failure"] is not None:
+                outcome = (None, data["failure"])
+            else:
+                outcome = (RunResult.from_dict(data["result"]), None)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, spec: Dict[str, Any],
+            result: Optional[RunResult] = None,
+            failure: Optional[str] = None) -> None:
+        """Store one outcome atomically (temp file + rename)."""
+        if (result is None) == (failure is None):
+            raise ValueError("exactly one of result/failure must be given")
+        payload = {
+            "spec": spec,
+            "result": result.to_dict() if result is not None else None,
+            "failure": failure,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key_for(spec))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, default=repr)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        return (f"RunCache({self.root}, {len(self)} entries, "
+                f"{self.hits} hits / {self.misses} misses this session)")

@@ -17,8 +17,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.am.tuning import TuningKnobs
 from repro.apps.base import Application
-from repro.cluster.machine import Cluster, RunResult
-from repro.gas.runtime import LivelockError
+from repro.cluster.machine import RunResult
 from repro.network.loggp import LogGPParams
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "overhead_sweep",
@@ -82,6 +81,9 @@ class SweepResult:
     def series(self) -> List[tuple]:
         """(value, slowdown) pairs for completed points."""
         base = self.baseline.runtime_us
+        if base is None:
+            raise RuntimeError(
+                f"{self.app_name}: baseline run did not complete")
         return [(p.value, p.runtime_us / base)
                 for p in self.points if p.completed]
 
@@ -107,25 +109,24 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
               seed: int = 0,
               run_limit_us: Optional[float] = None,
               livelock_limit: int = 200_000,
-              window: int = 8) -> SweepResult:
-    """Run ``app`` at each dialed value; first value is the baseline."""
-    params = params or LogGPParams.berkeley_now()
-    sweep = SweepResult(app_name=app.name, n_nodes=n_nodes,
-                        parameter=parameter)
-    for value in values:
-        knobs = knob_for(value)
-        cluster = Cluster(n_nodes=n_nodes, params=params, knobs=knobs,
-                          seed=seed, run_limit_us=run_limit_us,
-                          livelock_limit=livelock_limit, window=window)
-        point = SweepPoint(value=value, knobs=knobs)
-        try:
-            point.result = cluster.run(app)
-        except LivelockError as exc:
-            point.failure = f"livelock: {exc}"
-        except TimeoutError as exc:
-            point.failure = f"budget exceeded: {exc}"
-        sweep.points.append(point)
-    return sweep
+              window: int = 8,
+              jobs: Optional[int] = None,
+              cache: Optional["RunCache"] = None  # noqa: F821
+              ) -> SweepResult:
+    """Run ``app`` at each dialed value; first value is the baseline.
+
+    ``jobs`` > 1 fans the points across a process pool (bit-identical
+    results — see :mod:`repro.harness.parallel`); ``cache`` is an
+    optional :class:`~repro.harness.runcache.RunCache` consulted before
+    simulating and updated after.
+    """
+    # Imported lazily: parallel imports this module for SweepPoint/Result.
+    from repro.harness.parallel import run_sweep_points
+    return run_sweep_points(app, n_nodes, parameter, values, knob_for,
+                            params=params, seed=seed,
+                            run_limit_us=run_limit_us,
+                            livelock_limit=livelock_limit, window=window,
+                            jobs=jobs, cache=cache)
 
 
 def overhead_sweep(app: Application, n_nodes: int,

@@ -115,6 +115,32 @@ class ClusterStats:
             return 1.0
         return self.max_messages_per_node / avg
 
+    # -- serialisation (the on-disk run cache) -------------------------------
+    _ARRAY_FIELDS = ("matrix", "messages_sent", "bulk_messages_sent",
+                     "read_messages_sent", "small_bytes_sent",
+                     "bulk_bytes_sent", "messages_received", "barriers",
+                     "failed_lock_attempts")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict capturing every counter (arrays as lists)."""
+        data = {name: getattr(self, name).tolist()
+                for name in self._ARRAY_FIELDS}
+        data["n_nodes"] = self.n_nodes
+        data["started_at"] = self.started_at
+        data["finished_at"] = self.finished_at
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterStats":
+        """Rebuild a stats object produced by :meth:`to_dict`."""
+        stats = cls(data["n_nodes"])
+        for name in cls._ARRAY_FIELDS:
+            array = np.asarray(data[name], dtype=np.int64)
+            getattr(stats, name)[...] = array
+        stats.started_at = data["started_at"]
+        stats.finished_at = data["finished_at"]
+        return stats
+
     def per_node_rows(self) -> List[dict]:
         """One diagnostic dict per node."""
         return [

@@ -3,11 +3,19 @@
 The :class:`Simulator` owns the clock and the event heap.  Events are
 processed in strict ``(time, priority, sequence)`` order, making every run
 fully deterministic for a given seedable workload.
+
+The event loop is the hot path of every experiment (a full LogGP sweep
+is ~10^7 events), so :meth:`Simulator.run` inlines the per-event work
+with the heap and bookkeeping hoisted into locals, and
+:meth:`Simulator.timeout` builds the (overwhelmingly common) Timeout
+event without going through the generic ``Event`` constructor.
+``benchmarks/test_engine_throughput.py`` tracks the resulting
+events/second so regressions are caught.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -59,8 +67,27 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` microseconds from now."""
-        return Timeout(self, delay, value=value)
+        """Create an event firing ``delay`` microseconds from now.
+
+        This is the dominant event type (every compute region, stall and
+        wire hop is a timeout), so the event is assembled directly —
+        pre-triggered and pre-scheduled — without the generic
+        ``Event.__init__``/``_schedule`` machinery.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.name = ""
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._scheduled = True
+        event._defused = False
+        event.delay = delay
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, NORMAL, self._seq, event))
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process running ``generator``."""
@@ -84,22 +111,22 @@ class Simulator:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority,
-                                    self._seq, event))
+        heappush(self._heap, (self._now + delay, priority,
+                              self._seq, event))
 
     # -- execution --------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event from the heap."""
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - heap guards against this
-            raise RuntimeError("event scheduled in the past")
+        if not self._heap:
+            raise RuntimeError("no events to process")
+        when, _priority, _seq, event = heappop(self._heap)
         self._now = when
         self._event_count += 1
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         for callback in callbacks:
             callback(event)
-        if not event.ok and not getattr(event, "_defused", False):
+        if event._ok is False and not event._defused:
             # A failed event nobody waited on is a programming error:
             # surface it rather than letting it pass silently.
             raise event.value
@@ -123,17 +150,58 @@ class Simulator:
                 raise stop_event.value
             stop_event._defused = True
             stop_event.add_callback(self._stop_callback)
-        while self._heap:
-            if until is not None and self.peek() > until:
-                self._now = until
-                break
-            self.step()
-            if self._stop_requested is not None:
-                stopped = self._stop_requested
-                self._stop_requested = None
-                if not stopped.ok:
-                    raise stopped.value
-                return stopped.value
+        # The two loops below are step() unrolled with the heap and the
+        # event counter in locals.  They must stay semantically identical
+        # to step(); the only difference is the `until` horizon check.
+        heap = self._heap
+        pop = heappop
+        count = self._event_count
+        try:
+            if until is None:
+                while heap:
+                    when, _priority, _seq, event = pop(heap)
+                    self._now = when
+                    count += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event.value
+                    if self._stop_requested is not None:
+                        stopped = self._stop_requested
+                        self._stop_requested = None
+                        if stopped._ok is False:
+                            raise stopped.value
+                        return stopped.value
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self._now = until
+                        break
+                    when, _priority, _seq, event = pop(heap)
+                    self._now = when
+                    count += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event.value
+                    if self._stop_requested is not None:
+                        stopped = self._stop_requested
+                        self._stop_requested = None
+                        if stopped._ok is False:
+                            raise stopped.value
+                        return stopped.value
+        finally:
+            self._event_count = count
         if stop_event is not None:
             raise TimeoutError(
                 f"simulation ended at t={self._now} before "

@@ -8,6 +8,7 @@ its exception inside every waiting process.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Timeout", "AnyOf", "AllOf", "EventError"]
@@ -119,7 +120,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated microseconds after creation."""
+    """An event that fires ``delay`` simulated microseconds after creation.
+
+    Timeouts are by far the most common event (every compute region,
+    stall and wire hop is one), so construction stays lean: the label is
+    derived in ``__repr__`` instead of eagerly formatted, and the
+    already-validated event is pushed straight onto the heap rather than
+    through the generic ``_schedule`` checks.  ``Simulator.timeout`` is
+    a still-faster path that bypasses this constructor entirely; the two
+    must stay behaviourally identical.
+    """
 
     __slots__ = ("delay",)
 
@@ -127,11 +137,20 @@ class Timeout(Event):
                  value: Any = None, name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay})")
+        super().__init__(sim, name=name)
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, delay)
+        self._scheduled = True
+        sim._seq += 1
+        # Priority 1 is engine.NORMAL (not importable here: the engine
+        # module imports this one).
+        heappush(sim._heap, (sim._now + delay, 1, sim._seq, self))
+
+    def __repr__(self) -> str:
+        label = self.name or f"timeout({self.delay})"
+        state = "processed" if self.processed else "triggered"
+        return f"<{self.__class__.__name__} {label} [{state}]>"
 
 
 class _Condition(Event):

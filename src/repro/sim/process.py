@@ -71,16 +71,19 @@ class Process(Event):
 
     # -- stepping ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # Hot path: runs once per process wakeup.  A processed event
+        # always has ``_ok`` decided, so read the slot directly rather
+        # than the raising ``ok`` property.
         if event is not self._waiting_on:
             # Stale wakeup from an event abandoned by an interrupt.
             return
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
                 event._defused = True
-                target = self._generator.throw(event.value)
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -113,4 +116,9 @@ class Process(Event):
                 "yielded event belongs to a different simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: add_callback bridges via a fresh event.
+            target.add_callback(self._resume)
+        else:
+            callbacks.append(self._resume)
