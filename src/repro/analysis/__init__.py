@@ -1,0 +1,24 @@
+"""simlint: static determinism & SPMD-correctness analysis.
+
+The reproduction's methodology rests on two mechanical invariants —
+every run is a pure, bit-deterministic function of its configuration,
+and every SPMD program drives the runtime's blocking primitives through
+``yield from`` — and this package enforces both with an AST-based
+linter.  See :mod:`repro.analysis.core` for the engine,
+:mod:`repro.analysis.rules` for the shipped packs, and
+``python -m repro.analysis --list-rules`` for the catalogue.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.cli import main
+from repro.analysis.core import (Finding, Rule, SourceFile, all_rules,
+                                 analyze_file, analyze_paths,
+                                 analyze_source, default_rules,
+                                 register_rule)
+
+__all__ = [
+    "Finding", "Rule", "SourceFile", "Baseline",
+    "DEFAULT_BASELINE_NAME", "all_rules", "default_rules",
+    "register_rule", "analyze_file", "analyze_paths", "analyze_source",
+    "main",
+]

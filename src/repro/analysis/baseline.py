@@ -1,0 +1,88 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the CI gate fail on *new* findings while tolerating a
+known set of old ones.  Entries are content-addressed — path + rule +
+the offending line's text — so findings survive unrelated line shifts
+but die (and must be re-justified) when the offending line changes.
+
+The repo policy (see docs/ARCHITECTURE.md) keeps the baseline empty for
+``apps/``: application findings are fixed, never grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, SourceFile
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: Conventional baseline location at the repository root.
+DEFAULT_BASELINE_NAME = "simlint.baseline.json"
+
+_FORMAT = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Optional[List[dict]] = None) -> None:
+        self.entries: List[dict] = entries or []
+        self._index: Set[Tuple[str, str, str]] = {
+            (e["path"], e["rule"], e["fingerprint"]) for e in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: Tuple[str, str, str]) -> bool:
+        return key in self._index
+
+    # -- queries ------------------------------------------------------------
+    def covers(self, finding: Finding,
+               source: Optional[SourceFile] = None) -> bool:
+        key = (finding.path, finding.rule, finding.fingerprint(source))
+        return key in self._index
+
+    def split(self, findings: List[Finding],
+              sources: Dict[str, SourceFile]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """``(new, grandfathered)`` partition of ``findings``."""
+        new, old = [], []
+        for finding in findings:
+            source = sources.get(finding.path)
+            (old if self.covers(finding, source) else new).append(finding)
+        return new, old
+
+    # -- persistence --------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: List[Finding],
+                      sources: Dict[str, SourceFile]) -> "Baseline":
+        entries = []
+        for finding in findings:
+            source = sources.get(finding.path)
+            entries.append({
+                "path": finding.path,
+                "rule": finding.rule,
+                "fingerprint": finding.fingerprint(source),
+                "message": finding.message,
+                "line": finding.line,
+            })
+        entries.sort(key=lambda e: (e["path"], e["line"], e["rule"]))
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != _FORMAT:
+            raise ValueError(
+                f"unsupported baseline format in {path}: "
+                f"{data.get('format')!r}")
+        return cls(data.get("findings", []))
+
+    def save(self, path: Path) -> None:
+        payload = {"format": _FORMAT, "findings": self.entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")

@@ -1,0 +1,307 @@
+"""The simlint engine: sources, findings, rules, and the driver.
+
+The methodology of the paper only holds if every run is bit-deterministic
+and every SPMD program obeys the simulator's cooperative-scheduling
+contract.  ``repro.analysis`` enforces both mechanically: each
+:class:`Rule` walks a parsed module and emits :class:`Finding` objects;
+the driver applies per-line ``# simlint: disable=rule-id`` suppressions
+and an optional committed baseline of grandfathered findings.
+
+Layout
+------
+* this module -- :class:`SourceFile`, :class:`Finding`, :class:`Rule`,
+  the rule registry, and :func:`analyze_file` / :func:`analyze_paths`.
+* :mod:`repro.analysis.baseline` -- the grandfathered-findings file.
+* :mod:`repro.analysis.rules` -- the three shipped rule packs
+  (determinism, SPMD contract, hygiene).
+* :mod:`repro.analysis.cli` -- ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import hashlib
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding", "SourceFile", "Rule", "register_rule", "all_rules",
+    "default_rules", "analyze_file", "analyze_paths", "dotted_name",
+    "walk_scope", "scope_functions", "PARSE_ERROR_RULE",
+]
+
+#: Pseudo-rule id attached to findings for unparseable files.
+PARSE_ERROR_RULE = "parse-error"
+
+#: ``# simlint: disable=a,b`` / ``# simlint: disable-next-line=a`` /
+#: ``# simlint: disable-file=a`` (omitting ``=...`` disables every
+#: rule); free text after the rule list is a justification.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(disable(?:-next-line|-file)?)"
+    r"(?:=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*))?")
+
+#: Wildcard marker: a suppression with no rule list silences all rules.
+_ALL = "all"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    #: Last physical line of the offending statement (suppression scope).
+    end_line: int = 0
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity} [{self.rule}] {self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "severity": self.severity,
+            "message": self.message,
+        }
+
+    def fingerprint(self, source: Optional["SourceFile"] = None) -> str:
+        """Content-addressed identity for the baseline: path + rule +
+        the offending line's text, so findings survive line shifts."""
+        text = ""
+        if source is not None and 1 <= self.line <= len(source.lines):
+            text = source.lines[self.line - 1].strip()
+        raw = f"{self.path}|{self.rule}|{text}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class SourceFile:
+    """A parsed module plus its simlint suppression comments."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        #: line number -> rule ids disabled on that physical line.
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        #: line number -> rule ids disabled on the *next* statement line.
+        self.next_line_suppressions: Dict[int, Set[str]] = {}
+        #: rule ids disabled for the whole file.
+        self.file_suppressions: Set[str] = set()
+        try:
+            self.tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            return
+        self._scan_suppressions()
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceFile":
+        return cls(str(path), path.read_text(encoding="utf-8"))
+
+    def _scan_suppressions(self) -> None:
+        reader = io.StringIO(self.text).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, IndentationError):
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            kind = match.group(1)
+            listed = match.group(2)
+            rules = ({_ALL} if listed is None else
+                     {r.strip() for r in listed.split(",") if r.strip()})
+            line = tok.start[0]
+            if kind == "disable-file":
+                self.file_suppressions |= rules
+            elif kind == "disable-next-line":
+                self.next_line_suppressions.setdefault(
+                    line, set()).update(rules)
+            else:
+                self.line_suppressions.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a suppression comment covers ``finding``."""
+        rule = finding.rule
+        if _ALL in self.file_suppressions or rule in self.file_suppressions:
+            return True
+        last = max(finding.end_line, finding.line)
+        for line in range(finding.line, last + 1):
+            rules = self.line_suppressions.get(line)
+            if rules and (_ALL in rules or rule in rules):
+                return True
+        rules = self.next_line_suppressions.get(finding.line - 1)
+        return bool(rules and (_ALL in rules or rule in rules))
+
+
+class Rule(abc.ABC):
+    """One statically checkable invariant.
+
+    Subclasses set ``rule_id``, ``severity``, ``description`` and
+    implement :meth:`check`; :func:`register_rule` adds them to the
+    registry that :func:`default_rules` instantiates.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+    description: str = ""
+    #: Path components on which this rule does not apply (e.g. the
+    #: harness may read wall clocks; the simulation may not).
+    exempt_path_parts: Tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield every violation found in ``source``."""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        parts = Path(source.path).parts
+        return not any(part in parts for part in self.exempt_path_parts)
+
+    def finding(self, source: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+            end_line=getattr(node, "end_lineno", None)
+            or getattr(node, "lineno", 1),
+        )
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registry (importing the shipped packs as a side effect)."""
+    import repro.analysis.rules  # noqa: F401 - registers the packs
+    return dict(_REGISTRY)
+
+
+def default_rules(only: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instances of every registered rule (or the ``only`` subset)."""
+    registry = all_rules()
+    if only is None:
+        wanted = sorted(registry)
+    else:
+        wanted = list(only)
+        unknown = [rule for rule in wanted if rule not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule ids: {', '.join(unknown)}")
+    return [registry[rule_id]() for rule_id in wanted]
+
+
+# -- AST helpers shared by the rule packs -----------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_BARRIERS):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def scope_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every function definition in a module, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# -- driver -----------------------------------------------------------------
+
+def analyze_file(path: Path, rules: Sequence[Rule],
+                 root: Optional[Path] = None) -> List[Finding]:
+    """All unsuppressed findings for one file, sorted by location."""
+    display = str(path if root is None else path.relative_to(root))
+    try:
+        source = SourceFile(display, path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(display, 1, 1, PARSE_ERROR_RULE, "error",
+                        f"unreadable file: {exc}")]
+    return analyze_source(source, rules)
+
+
+def analyze_source(source: SourceFile,
+                   rules: Sequence[Rule]) -> List[Finding]:
+    """All unsuppressed findings for an in-memory source."""
+    if source.parse_error is not None:
+        exc = source.parse_error
+        return [Finding(source.path, exc.lineno or 1, 1, PARSE_ERROR_RULE,
+                        "error", f"syntax error: {exc.msg}")]
+    findings: Set[Finding] = set()
+    for rule in rules:
+        if not rule.applies_to(source):
+            continue
+        for finding in rule.check(source):
+            if not source.is_suppressed(finding):
+                findings.add(finding)
+    return sorted(findings,
+                  key=lambda f: (f.line, f.col, f.rule, f.message))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Iterable[Path], rules: Sequence[Rule],
+                  root: Optional[Path] = None
+                  ) -> Tuple[List[Finding], int]:
+    """``(findings, files_checked)`` across files and directories."""
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(analyze_file(path, rules, root=root))
+    return findings, checked

@@ -1,0 +1,5 @@
+"""The shipped rule packs; importing this module registers them all."""
+
+from repro.analysis.rules import determinism, hygiene, spmd  # noqa: F401
+
+__all__ = ["determinism", "spmd", "hygiene"]

@@ -1,0 +1,241 @@
+"""Determinism rules: bit-identical reruns are the methodology.
+
+The run cache (PR 1) and the serial-vs-parallel identity guarantee both
+assume a run is a pure function of its configuration.  These rules flag
+the ways that assumption silently breaks: wall-clock reads, ambient
+environment reads, RNGs that ignore the run seed, and iteration over
+sets (whose order is a function of hash seeding and insertion history,
+not of the configuration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.core import (Finding, Rule, SourceFile, dotted_name,
+                                 register_rule, walk_scope)
+
+__all__ = ["WallClockRule", "EnvReadRule", "UnseededRngRule",
+           "SeedIndependentRngRule", "SetIterationRule"]
+
+#: Exact dotted calls that read a real clock.
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock",
+}
+
+#: Dotted-call suffixes that read a real calendar clock.
+_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today",
+                   "date.today")
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Wall-clock reads inside the simulation make reruns diverge."""
+
+    rule_id = "wall-clock"
+    description = ("real-time clock call; simulated code must take time "
+                   "from the simulator, not the host")
+    #: The harness may report real elapsed time around a run.
+    exempt_path_parts = ("harness",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _CLOCK_CALLS or name.endswith(_CLOCK_SUFFIXES):
+                yield self.finding(
+                    source, node,
+                    f"call to {name}() reads the host clock; use "
+                    "sim.now / simulated time instead")
+
+
+@register_rule
+class EnvReadRule(Rule):
+    """Environment reads smuggle host state into run outcomes."""
+
+    rule_id = "env-read"
+    description = ("os.environ / os.getenv read; configuration must "
+                   "arrive through explicit run parameters")
+    #: The harness owns process-level configuration (cache dir etc.).
+    exempt_path_parts = ("harness",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            name = dotted_name(node) if isinstance(node, ast.Attribute) \
+                else None
+            if name == "os.environ":
+                yield self.finding(
+                    source, node,
+                    "os.environ read outside the harness; pass the value "
+                    "as an explicit parameter")
+            elif isinstance(node, ast.Call) and \
+                    dotted_name(node.func) == "os.getenv":
+                yield self.finding(
+                    source, node,
+                    "os.getenv() outside the harness; pass the value as "
+                    "an explicit parameter")
+
+
+#: Constructors whose argument must mix in the run seed.
+_RNG_CTORS = {"Random", "RandomState", "default_rng", "SeedSequence"}
+
+#: Module-level sampling functions backed by a shared global RNG.
+_GLOBAL_SAMPLERS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normal", "standard_normal", "rand",
+    "randn", "permutation", "bytes", "getrandbits", "seed",
+}
+
+_RNG_MODULES = ("random", "np.random", "numpy.random")
+
+
+def _references_seed(call: ast.Call) -> bool:
+    """Whether any constructor argument mentions a seed-ish identifier."""
+    values = list(call.args) + [kw.value for kw in call.keywords]
+    for value in values:
+        for node in ast.walk(value):
+            ident = None
+            if isinstance(node, ast.Name):
+                ident = node.id
+            elif isinstance(node, ast.Attribute):
+                ident = node.attr
+            if ident is not None and "seed" in ident.lower():
+                return True
+    return False
+
+
+def _rng_constructor(call: ast.Call) -> Optional[str]:
+    """The dotted name of an RNG constructor call, else None."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    return name if last in _RNG_CTORS else None
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """Unseeded RNGs (and the global RNG) are host-entropy sources."""
+
+    rule_id = "unseeded-rng"
+    description = ("RNG constructed without a seed, or module-level "
+                   "global-RNG sampling call")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _rng_constructor(node)
+            if ctor is not None and not node.args and not node.keywords:
+                yield self.finding(
+                    source, node,
+                    f"{ctor}() constructed without a seed; derive the "
+                    "seed from the run seed")
+                continue
+            name = dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            module, func = name.rsplit(".", 1)
+            if module in _RNG_MODULES and func in _GLOBAL_SAMPLERS:
+                yield self.finding(
+                    source, node,
+                    f"{name}() samples the shared global RNG; construct "
+                    "a per-run instance seeded from the run seed")
+
+
+@register_rule
+class SeedIndependentRngRule(Rule):
+    """An RNG seeded without the run seed repeats across ``--seed``.
+
+    The canonical bug: ``RandomState(rank + 17)`` gives every seed the
+    same per-rank streams, so sweeps that believe they vary the input
+    actually rerun one input.
+    """
+
+    rule_id = "seed-independent-rng"
+    description = ("RNG seeded by an expression that never mentions the "
+                   "run seed")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _rng_constructor(node)
+            if ctor is None or (not node.args and not node.keywords):
+                continue
+            if not _references_seed(node):
+                yield self.finding(
+                    source, node,
+                    f"{ctor}(...) seed expression never references the "
+                    "run seed; different --seed values will replay "
+                    "identical streams")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body) and _is_set_expr(node.orelse)
+    return False
+
+
+def _set_typed_names(scope: ast.AST) -> Set[str]:
+    """Local names every one of whose assignments is a set expression."""
+    assigned: Dict[str, bool] = {}
+    for node in walk_scope(scope):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name):
+                is_set = _is_set_expr(value)
+                assigned[target.id] = assigned.get(target.id, True) \
+                    and is_set
+    return {name for name, is_set in assigned.items() if is_set}
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Set iteration order is not part of the run configuration."""
+
+    rule_id = "set-iteration"
+    description = ("iteration over a set; order depends on hashing, "
+                   "wrap in sorted() for a deterministic walk")
+
+    def _flag(self, source: SourceFile, iter_node: ast.expr,
+              set_names: Set[str]) -> Iterator[Finding]:
+        if _is_set_expr(iter_node) or (
+                isinstance(iter_node, ast.Name)
+                and iter_node.id in set_names):
+            yield self.finding(
+                source, iter_node,
+                "iterating over a set has hash-dependent order; "
+                "use sorted(...) to make the walk deterministic")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        scopes: List[ast.AST] = [source.tree]
+        scopes.extend(node for node in ast.walk(source.tree)
+                      if isinstance(node,
+                                    (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)))
+        for scope in scopes:
+            set_names = _set_typed_names(scope)
+            for node in walk_scope(scope):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._flag(source, node.iter, set_names)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        yield from self._flag(source, gen.iter, set_names)

@@ -1,0 +1,131 @@
+"""Hygiene rules: failure modes that erode reproducibility slowly.
+
+Broad exception handlers swallow the very assertion errors the suite
+uses to detect wrong answers; mutable default arguments and module-level
+mutable state leak one run's data into the next, breaking the
+run-as-pure-function contract the cache depends on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (Finding, Rule, SourceFile, register_rule,
+                                 walk_scope)
+
+__all__ = ["BroadExceptRule", "MutableDefaultArgRule",
+           "ModuleMutableStateRule"]
+
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _names_broad_exception(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_EXCEPTIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_EXCEPTIONS
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_exception(el) for el in node.elts)
+    return False
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """Bare/broad handlers swallow wrong-answer assertions."""
+
+    rule_id = "broad-except"
+    description = ("bare or Exception/BaseException handler that does "
+                   "not re-raise")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is not None and \
+                    not _names_broad_exception(node.type):
+                continue
+            # A handler that re-raises is cleanup, not swallowing.
+            reraises = any(isinstance(child, ast.Raise)
+                           for stmt in node.body
+                           for child in ast.walk(stmt))
+            if reraises:
+                continue
+            caught = "bare except" if node.type is None else \
+                f"except {ast.unparse(node.type)}"
+            yield self.finding(
+                source, node,
+                f"{caught} swallows correctness failures; catch the "
+                "specific exceptions or re-raise")
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque",
+                  "Counter", "OrderedDict"}
+
+
+def _is_mutable_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+@register_rule
+class MutableDefaultArgRule(Rule):
+    """Mutable defaults persist across calls (and across runs)."""
+
+    rule_id = "mutable-default-arg"
+    severity = "warning"
+    description = "mutable default argument shared across calls"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for func in ast.walk(source.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_expr(default):
+                    yield self.finding(
+                        source, default,
+                        "mutable default argument is shared across "
+                        "calls; default to None and allocate inside")
+
+
+@register_rule
+class ModuleMutableStateRule(Rule):
+    """Module-level mutable containers leak state between runs.
+
+    Scoped to ``apps/``: applications are re-run back to back inside
+    sweeps, so any module-level container is cross-run shared state.
+    """
+
+    rule_id = "module-mutable-state"
+    severity = "warning"
+    description = "module-level mutable container in apps/"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return "apps" in source.path.replace("\\", "/").split("/")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in walk_scope(source.tree):
+            targets = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and \
+                    node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_expr(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        not target.id.startswith("__"):
+                    yield self.finding(
+                        source, node,
+                        f"module-level mutable {target.id!r} is shared "
+                        "across runs; use a tuple/frozen value or move "
+                        "it into per-run state")

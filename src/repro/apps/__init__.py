@@ -23,8 +23,8 @@ __all__ = ["Application", "RadixSort", "EM3D", "SampleSort", "Barnes",
            "default_suite", "SUITE_ORDER"]
 
 #: Table 3/4 presentation order.
-SUITE_ORDER = ["Radix", "EM3D(write)", "EM3D(read)", "Sample", "Barnes",
-               "P-Ray", "Murphi", "Connect", "NOW-sort", "Radb"]
+SUITE_ORDER = ("Radix", "EM3D(write)", "EM3D(read)", "Sample", "Barnes",
+               "P-Ray", "Murphi", "Connect", "NOW-sort", "Radb")
 
 
 def default_suite(scale: float = 1.0) -> list:

@@ -68,6 +68,7 @@ class EM3D(Application):
         self.variant = variant
         self._edges: Dict[str, List[List[Tuple[int, float]]]] = {}
         self._n_nodes = 0
+        self._seed = 0
 
     name = property(lambda self: f"EM3D({self.variant})")  # type: ignore
 
@@ -81,6 +82,7 @@ class EM3D(Application):
         source nodes of the other kind, mostly local, remote ones biased
         to adjacent processors (the diagonal swath of Figure 4)."""
         self._n_nodes = n_nodes
+        self._seed = seed
         rng = random.Random(f"em3d:{seed}")
         total = n_nodes * self.nodes_per_proc
 
@@ -106,15 +108,24 @@ class EM3D(Application):
         # e_edges[i]: sources (H nodes) feeding E node i, and vice versa.
         self._edges = {"e": build_side(), "h": build_side()}
 
+    def _initial_values(self, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The deterministic per-rank initial (E, H) values, a function
+        of both the run seed and the rank."""
+        rng = np.random.RandomState(
+            (self._seed * 1_000_003 + rank + 17) % (2 ** 32))
+        e_part = rng.uniform(-1, 1, self.nodes_per_proc)
+        h_part = rng.uniform(-1, 1, self.nodes_per_proc)
+        return e_part, h_part
+
     def setup_rank(self, proc: Proc) -> Generator:
         total = self._n_nodes * self.nodes_per_proc
         e_vals = proc.allocate(total, name="em3d_e", item_bytes=8,
                                dtype="float64")
         h_vals = proc.allocate(total, name="em3d_h", item_bytes=8,
                                dtype="float64")
-        rng = np.random.RandomState(proc.rank + 17)
-        proc.local(e_vals)[:] = rng.uniform(-1, 1, self.nodes_per_proc)
-        proc.local(h_vals)[:] = rng.uniform(-1, 1, self.nodes_per_proc)
+        e_part, h_part = self._initial_values(proc.rank)
+        proc.local(e_vals)[:] = e_part
+        proc.local(h_vals)[:] = h_part
 
         lo = proc.rank * self.nodes_per_proc
         hi = lo + self.nodes_per_proc
@@ -227,9 +238,7 @@ class EM3D(Application):
         for kind in ("e", "h"):
             parts = []
             for rank in range(self._n_nodes):
-                rng = np.random.RandomState(rank + 17)
-                part_e = rng.uniform(-1, 1, self.nodes_per_proc)
-                part_h = rng.uniform(-1, 1, self.nodes_per_proc)
+                part_e, part_h = self._initial_values(rank)
                 parts.append(part_e if kind == "e" else part_h)
             values[kind] = np.concatenate(parts)
         for _step in range(self.steps):

@@ -87,7 +87,9 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - generator died
+        except BaseException as exc:  # noqa: BLE001
+            # simlint: disable=broad-except - any generator death must
+            # become a process failure, never a lost exception.
             self.fail(exc)
             return
         self._wait_on(target)
@@ -101,6 +103,8 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as err:  # noqa: BLE001
+            # simlint: disable=broad-except - any generator death must
+            # become a process failure, never a lost exception.
             self.fail(err)
             return
         self._wait_on(target)

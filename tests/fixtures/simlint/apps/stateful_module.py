@@ -1,0 +1,6 @@
+"""Fixture in a fake ``apps/`` directory: module-level mutable state."""
+
+RESULTS = []                                    # module-mutable (line 3)
+CACHE = {}                                      # module-mutable (line 4)
+ORDER = ("a", "b")                              # ok: immutable
+__all__ = ["RESULTS", "CACHE", "ORDER"]         # ok: dunder

@@ -1,0 +1,43 @@
+"""Fixture: every determinism rule has a violation in here."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock():
+    started = time.time()                       # wall-clock (line 12)
+    stamp = datetime.now()                      # wall-clock (line 13)
+    return started, stamp
+
+
+def env_read():
+    cache = os.environ["REPRO_CACHE_DIR"]       # env-read (line 18)
+    debug = os.getenv("DEBUG")                  # env-read (line 19)
+    return cache, debug
+
+
+def unseeded():
+    a = random.Random()                         # unseeded-rng (line 24)
+    b = np.random.RandomState()                 # unseeded-rng (line 25)
+    c = random.randrange(10)                    # unseeded-rng (line 26)
+    return a, b, c
+
+
+def seed_independent(rank):
+    # The canonical em3d bug: varies by rank, ignores the run seed.
+    rng = np.random.RandomState(rank + 17)      # seed-independent (32)
+    return rng.uniform(-1, 1, 8)
+
+
+def set_iteration(items):
+    total = 0
+    for item in set(items):                     # set-iteration (line 38)
+        total += item
+    pending = {1, 2, 3}
+    for item in pending:                        # set-iteration (line 41)
+        total += item
+    return total, [x for x in {4, 5}]           # set-iteration (line 43)

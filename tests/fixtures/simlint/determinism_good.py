@@ -1,0 +1,30 @@
+"""Fixture: the determinism-clean twin of ``determinism_bad``."""
+
+import random
+
+import numpy as np
+
+
+def simulated_clock(sim):
+    return sim.now
+
+
+def explicit_config(cache_dir):
+    return cache_dir
+
+
+def seeded(seed, rank):
+    a = random.Random(seed * 1_000_003 + rank)
+    b = np.random.RandomState((seed + rank) % (2 ** 32))
+    c = np.random.default_rng(seed=seed)
+    return a, b, c
+
+
+def sorted_iteration(items):
+    total = 0
+    for item in sorted(set(items)):
+        total += item
+    pending = {1, 2, 3}
+    for item in sorted(pending):
+        total += item
+    return total

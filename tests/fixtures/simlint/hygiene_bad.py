@@ -1,0 +1,24 @@
+"""Fixture: every hygiene rule has a violation in here."""
+
+
+def swallow_everything(run):
+    try:
+        return run()
+    except Exception:                           # broad-except (line 7)
+        return None
+
+
+def swallow_bare(run):
+    try:
+        return run()
+    except:                                     # broad-except (line 14)
+        return None
+
+
+def shared_default(item, bucket=[]):            # mutable-default (18)
+    bucket.append(item)
+    return bucket
+
+
+def shared_kw_default(*, table={}):             # mutable-default (23)
+    return table

@@ -1,0 +1,23 @@
+"""Fixture: the hygiene-clean twin of ``hygiene_bad``."""
+
+
+def targeted(run):
+    try:
+        return run()
+    except (ValueError, KeyError):
+        return None
+
+
+def cleanup_reraise(run):
+    try:
+        return run()
+    except BaseException:
+        run.cancel()
+        raise
+
+
+def fresh_default(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -80,6 +80,49 @@ def test_single_node_em3d():
     assert result.stats.total_messages == 0
 
 
+def test_seed_changes_initial_values_per_rank():
+    """Regression: per-rank RNGs used to be RandomState(rank + 17) —
+    seed-independent, so every --seed replayed identical inputs."""
+    seeded_a, seeded_b = EM3D(nodes_per_proc=12), EM3D(nodes_per_proc=12)
+    seeded_a.configure(n_nodes=4, seed=9)
+    seeded_b.configure(n_nodes=4, seed=10)
+    for rank in range(4):
+        e_a, h_a = seeded_a._initial_values(rank)
+        e_b, h_b = seeded_b._initial_values(rank)
+        assert not np.array_equal(e_a, e_b)
+        assert not np.array_equal(h_a, h_b)
+    # Ranks still get distinct streams under one seed.
+    e0, _ = seeded_a._initial_values(0)
+    e1, _ = seeded_a._initial_values(1)
+    assert not np.array_equal(e0, e1)
+
+
+def test_same_seed_runs_are_bit_identical_including_cache_keys():
+    from repro.harness.runcache import RunCache, run_key_spec
+    from repro.am.tuning import TuningKnobs
+    from repro.network.loggp import LogGPParams
+
+    def run(seed):
+        return Cluster(n_nodes=4, seed=seed).run(
+            EM3D(nodes_per_proc=12, steps=2, variant="write"))
+
+    first, second, other = run(9), run(9), run(10)
+    for kind in ("e", "h"):
+        assert np.array_equal(first.output[kind], second.output[kind])
+        assert not np.array_equal(first.output[kind],
+                                  other.output[kind])
+    assert first.runtime_us == second.runtime_us
+    assert first.to_dict() == second.to_dict()
+
+    def key(seed):
+        return RunCache.key_for(run_key_spec(
+            EM3D(nodes_per_proc=12, steps=2, variant="write"), 4,
+            LogGPParams.berkeley_now(), TuningKnobs(), seed))
+
+    assert key(9) == key(9)
+    assert key(9) != key(10)
+
+
 def test_em3d_rejects_bad_parameters():
     with pytest.raises(ValueError):
         EM3D(variant="push")

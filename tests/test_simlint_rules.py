@@ -1,0 +1,110 @@
+"""Golden-finding tests: each shipped rule pack against its fixtures.
+
+Every rule must (a) flag each annotated line of its ``*_bad`` fixture
+and (b) stay silent on the ``*_good`` twin — the known-good/known-bad
+pairing that proves a rule detects the bug class without false alarms.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_file, default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
+
+
+def findings_for(name):
+    return analyze_file(FIXTURES / name, default_rules())
+
+
+def lines_by_rule(findings, rule):
+    return sorted(f.line for f in findings if f.rule == rule)
+
+
+# -- determinism pack -------------------------------------------------------
+
+def test_determinism_bad_fixture_golden_findings():
+    findings = findings_for("determinism_bad.py")
+    assert lines_by_rule(findings, "wall-clock") == [12, 13]
+    assert lines_by_rule(findings, "env-read") == [18, 19]
+    assert lines_by_rule(findings, "unseeded-rng") == [24, 25, 26]
+    assert lines_by_rule(findings, "seed-independent-rng") == [32]
+    assert lines_by_rule(findings, "set-iteration") == [38, 41, 43]
+    assert len(findings) == 11
+
+
+def test_determinism_good_fixture_is_clean():
+    assert findings_for("determinism_good.py") == []
+
+
+def test_seed_independent_rule_flags_the_em3d_bug_pattern():
+    """The exact pre-fix em3d construction must be caught."""
+    from repro.analysis.core import SourceFile, analyze_source
+    source = SourceFile("apps/em3d.py", (
+        "import numpy as np\n"
+        "def setup_rank(self, proc):\n"
+        "    rng = np.random.RandomState(proc.rank + 17)\n"
+    ))
+    findings = analyze_source(source, default_rules())
+    assert lines_by_rule(findings, "seed-independent-rng") == [3]
+
+
+# -- SPMD / generator-contract pack ----------------------------------------
+
+def test_spmd_bad_fixture_golden_findings():
+    findings = findings_for("spmd_bad.py")
+    assert lines_by_rule(findings, "unyielded-blocking-call") == \
+        [6, 7, 9, 13]
+    assert lines_by_rule(findings, "rank-dependent-collective") == \
+        [17, 20]
+    assert lines_by_rule(findings, "handler-arity") == [26, 27]
+    assert len(findings) == 8
+
+
+def test_spmd_good_fixture_is_clean():
+    assert findings_for("spmd_good.py") == []
+
+
+# -- hygiene pack -----------------------------------------------------------
+
+def test_hygiene_bad_fixture_golden_findings():
+    findings = findings_for("hygiene_bad.py")
+    assert lines_by_rule(findings, "broad-except") == [7, 14]
+    assert lines_by_rule(findings, "mutable-default-arg") == [18, 23]
+    assert len(findings) == 4
+
+
+def test_hygiene_good_fixture_is_clean():
+    assert findings_for("hygiene_good.py") == []
+
+
+def test_module_mutable_state_only_fires_under_apps():
+    findings = findings_for("apps/stateful_module.py")
+    assert lines_by_rule(findings, "module-mutable-state") == [3, 4]
+    assert len(findings) == 2
+    # The same content outside an apps/ directory is not flagged.
+    from repro.analysis.core import SourceFile, analyze_source
+    text = (FIXTURES / "apps" / "stateful_module.py").read_text()
+    source = SourceFile("tools/stateful_module.py", text)
+    assert analyze_source(source, default_rules()) == []
+
+
+# -- rule catalogue ---------------------------------------------------------
+
+def test_every_rule_has_at_least_one_failing_fixture():
+    """Acceptance: each shipped rule detects something in the fixtures."""
+    all_findings = []
+    for name in ("determinism_bad.py", "spmd_bad.py", "hygiene_bad.py",
+                 "apps/stateful_module.py"):
+        all_findings.extend(findings_for(name))
+    fired = {f.rule for f in all_findings}
+    from repro.analysis import all_rules
+    assert fired == set(all_rules())
+
+
+@pytest.mark.parametrize("name", ["determinism_good.py",
+                                  "spmd_good.py", "hygiene_good.py",
+                                  "suppressed.py"])
+def test_clean_fixtures_produce_no_findings(name):
+    assert findings_for(name) == []
