@@ -83,7 +83,8 @@ class AmLayer:
                  window: int = DEFAULT_WINDOW,
                  window_scope: str = "per-destination",
                  stats: Optional["ClusterStats"] = None,
-                 tracer: Optional["MessageTracer"] = None) -> None:  # noqa: F821
+                 tracer: Optional["MessageTracer"] = None,  # noqa: F821
+                 faults: Optional["FaultPlan"] = None) -> None:  # noqa: F821
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         if window_scope not in ("per-destination", "global"):
@@ -118,7 +119,7 @@ class AmLayer:
         self.nic = Nic(sim, node_id, params, knobs, wire,
                        deliver_to_host=self._host_deliver,
                        return_credit=self._credit_returned,
-                       tracer=tracer)
+                       tracer=tracer, stats=stats, faults=faults)
 
     # -- effective per-event costs ----------------------------------------
     @property

@@ -123,6 +123,12 @@ class Cluster:
         ``TimeoutError`` (used to bound livelocked configurations).
     livelock_limit:
         Per-rank failed-lock budget before ``LivelockError``.
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan` making the
+        wire imperfect (drops, delay spikes, slowdown windows).  A null
+        plan is normalised to ``None``, so the reliability machinery is
+        provably absent on the perfectly reliable fabric and such runs
+        stay bit-identical to runs that never mention faults.
     """
 
     def __init__(self, n_nodes: int,
@@ -135,7 +141,8 @@ class Cluster:
                  disks_per_node: int = 2,
                  seed: int = 0,
                  run_limit_us: Optional[float] = None,
-                 livelock_limit: int = 200_000) -> None:
+                 livelock_limit: int = 200_000,
+                 faults: Optional["FaultPlan"] = None) -> None:  # noqa: F821
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         self.n_nodes = n_nodes
@@ -152,6 +159,12 @@ class Cluster:
         self.seed = seed
         self.run_limit_us = run_limit_us
         self.livelock_limit = livelock_limit
+        if faults is not None and faults.is_null:
+            faults = None
+        if faults is not None and fabric != "flat":
+            raise ValueError(
+                "fault injection is only modelled on the flat fabric")
+        self.faults = faults
 
     def with_knobs(self, knobs: TuningKnobs) -> "Cluster":
         """A cluster identical to this one but with different dials."""
@@ -161,7 +174,8 @@ class Cluster:
                        fabric=self.fabric, cost=self.cost,
                        disks_per_node=self.disks_per_node, seed=self.seed,
                        run_limit_us=self.run_limit_us,
-                       livelock_limit=self.livelock_limit)
+                       livelock_limit=self.livelock_limit,
+                       faults=self.faults)
 
     # -- running applications -------------------------------------------------
     def run(self, app: "Application",
@@ -183,7 +197,12 @@ class Cluster:
             from repro.network.ethernet import SharedMediumFabric
             wire = SharedMediumFabric(sim)
         else:
-            wire = Wire(sim, self.params.latency)
+            injector = None
+            if self.faults is not None:
+                from repro.network.faults import FaultInjector
+                injector = FaultInjector(self.faults, self.seed)
+            wire = Wire(sim, self.params.latency, injector=injector,
+                        stats=stats)
         table = HandlerTable()
         register_gas_handlers(table)
         app.configure(self.n_nodes, self.seed)
@@ -196,7 +215,7 @@ class Cluster:
             am = AmLayer(sim, node_id, self.params, self.knobs, wire,
                          table, window=self.window,
                          window_scope=self.window_scope, stats=stats,
-                         tracer=tracer)
+                         tracer=tracer, faults=self.faults)
             proc = Proc(sim, node_id, self.n_nodes, node, am, stats=stats,
                         seed=self.seed,
                         livelock_limit=self.livelock_limit)
@@ -211,6 +230,9 @@ class Cluster:
         done = sim.all_of(drivers)
         sim.run(until=self.run_limit_us, stop_event=done)
 
+        for proc in procs:
+            leaked = proc.am.nic.reassembly_teardown()
+            stats.record_reassembly_leaks(proc.rank, leaked)
         output = app.finalize(procs)
         return RunResult(
             app_name=app.name,
@@ -239,5 +261,8 @@ class Cluster:
 
     def describe(self) -> str:
         """One-line summary of the configuration."""
-        return (f"Cluster(P={self.n_nodes}, {self.params.describe()}, "
-                f"{self.knobs.describe()}, window={self.window})")
+        text = (f"Cluster(P={self.n_nodes}, {self.params.describe()}, "
+                f"{self.knobs.describe()}, window={self.window}")
+        if self.faults is not None:
+            text += f", {self.faults.describe()}"
+        return text + ")"

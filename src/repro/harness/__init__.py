@@ -17,7 +17,8 @@
 from repro.harness.suite import suite_for, REFERENCE_NODES
 from repro.harness.sweeps import (SweepPoint, SweepResult, run_sweep,
                                   overhead_sweep, gap_sweep, latency_sweep,
-                                  bulk_bandwidth_sweep)
+                                  bulk_bandwidth_sweep, fault_sweep,
+                                  spike_decay_sweep)
 from repro.harness.parallel import (run_sweep_parallel,
                                     run_experiments_parallel)
 from repro.harness.runcache import RunCache
@@ -29,7 +30,8 @@ from repro.harness.export import (write_matrix_csv, write_rows_csv,
 
 __all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
            "run_sweep", "overhead_sweep", "gap_sweep", "latency_sweep",
-           "bulk_bandwidth_sweep", "run_sweep_parallel",
+           "bulk_bandwidth_sweep", "fault_sweep", "spike_decay_sweep",
+           "run_sweep_parallel",
            "run_experiments_parallel", "RunCache", "ascii_plot",
            "render_table", "ExperimentConfig", "sensitivity_surface",
            "overhead_gap_surface", "write_rows_csv", "write_matrix_csv",

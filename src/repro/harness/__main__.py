@@ -42,6 +42,10 @@ ARTIFACTS = {
         n_nodes=nodes, scale=scale),
     "figure8": lambda nodes, scale: experiments.figure8_bulk(
         n_nodes=nodes, scale=scale),
+    "figure9": lambda nodes, scale: experiments.figure9_faults(
+        n_nodes=nodes, scale=scale),
+    "table7": lambda nodes, scale: experiments.table7_spike_decay(
+        n_nodes=nodes, scale=scale),
     "surface": lambda nodes, scale: _surface(nodes, scale),
 }
 

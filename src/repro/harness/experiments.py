@@ -23,7 +23,8 @@ from repro.cluster.presets import MACHINE_PRESETS
 from repro.harness.report import ascii_plot, render_table
 from repro.harness.suite import suite_for
 from repro.harness.sweeps import (SweepResult, bulk_bandwidth_sweep,
-                                  gap_sweep, latency_sweep, overhead_sweep)
+                                  fault_sweep, gap_sweep, latency_sweep,
+                                  overhead_sweep, spike_decay_sweep)
 from repro.instruments.balance import render_balance
 from repro.models.gap import BurstGapModel
 from repro.models.overhead import OverheadModel
@@ -35,6 +36,7 @@ __all__ = [
     "table3_baseline_runtimes", "figure4_balance", "table4_comm_summary",
     "figure5_overhead", "table5_overhead_model", "figure6_gap",
     "table6_gap_model", "figure7_latency", "figure8_bulk",
+    "figure9_faults", "table7_spike_decay",
 ]
 
 
@@ -407,3 +409,85 @@ def table6_gap_model(n_nodes: int = 32, scale: float = 1.0,
             })
     return ModelTable(title="Table 6: burst gap model (r + m dg)",
                       parameter="gap", rows_=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 / Table 7 -- fault tolerance (beyond the paper).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultFigure(SensitivityFigure):
+    """A sensitivity figure over drop rate, with reliability counters."""
+
+    def rows(self) -> List[dict]:
+        """Sweep rows augmented with drop/retransmission counters."""
+        rows = []
+        for sweep in self.sweeps.values():
+            for row, point in zip(sweep.as_rows(), sweep.points):
+                stats = point.result.stats if point.completed else None
+                row["dropped"] = (stats.total_packets_dropped
+                                  if stats else "N/A")
+                row["retransmits"] = (stats.total_retransmissions
+                                      if stats else "N/A")
+                rows.append(row)
+        return rows
+
+
+def figure9_faults(n_nodes: int = 32, scale: float = 1.0,
+                   names: Optional[Sequence[str]] = None,
+                   drop_rates: Optional[Sequence[float]] = None,
+                   seed: int = 0, **kwargs) -> FaultFigure:
+    """Figure 9: slowdown under per-packet drop probability.
+
+    Sweeps the fault injector's drop rate with the machine dials held
+    at the unmodified baseline; the reliability protocol's timeouts
+    and retransmissions are what turn packet loss into slowdown.
+    """
+    figure = FaultFigure(
+        title=f"Figure 9 ({n_nodes} nodes): sensitivity to packet loss",
+        x_label="drop rate")
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep_kwargs = dict(kwargs)
+        if drop_rates is not None:
+            sweep_kwargs["drop_rates"] = drop_rates
+        figure.sweeps[app.name] = fault_sweep(app, n_nodes, seed=seed,
+                                              **sweep_kwargs)
+    return figure
+
+
+def table7_spike_decay(n_nodes: int = 32, scale: float = 1.0,
+                       names: Optional[Sequence[str]] = None,
+                       node: int = 0, duration_us: float = 500.0,
+                       starts: Sequence[float] = (0.0, 250.0, 500.0,
+                                                  1000.0, 2000.0),
+                       seed: int = 0, **kwargs) -> ModelTable:
+    """Table 7: how a one-off delay spike's cost propagates.
+
+    Injects a single ``duration_us`` delay spike at ``node`` at each
+    start time and reports the residual over the spike-free baseline,
+    both in µs and as a fraction of the spike duration (1.0 = the
+    whole spike surfaced in the critical path; > 1.0 = it cascaded).
+    """
+    rows = []
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        sweep = spike_decay_sweep(app, n_nodes, node=node,
+                                  duration_us=duration_us, starts=starts,
+                                  seed=seed, **kwargs)
+        base = sweep.baseline.runtime_us
+        for point in sweep.points[1:]:
+            residual = (point.runtime_us - base
+                        if point.completed and base is not None else None)
+            rows.append({
+                "app": app.name,
+                "spike_start_us": point.value,
+                "runtime_us": (round(point.runtime_us, 1)
+                               if point.completed else "N/A"),
+                "residual_us": (round(residual, 1)
+                                if residual is not None else "N/A"),
+                "propagated": (round(residual / duration_us, 2)
+                               if residual is not None else "N/A"),
+            })
+    return ModelTable(
+        title=f"Table 7: delay-spike propagation "
+              f"({duration_us:g} us spike at node {node})",
+        parameter="spike_start_us", rows_=rows)

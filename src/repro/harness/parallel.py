@@ -33,6 +33,7 @@ from repro.cluster.machine import Cluster
 from repro.gas.runtime import LivelockError
 from repro.harness.runcache import RunCache, run_key_spec
 from repro.harness.sweeps import SweepPoint, SweepResult
+from repro.network.faults import FaultError, FaultPlan
 from repro.network.loggp import LogGPParams
 
 __all__ = ["execute_point", "run_sweep_points", "run_sweep_parallel",
@@ -69,13 +70,15 @@ class PointTask:
     run_limit_us: Optional[float] = None
     livelock_limit: int = 200_000
     window: int = 8
+    faults: Optional[FaultPlan] = None
 
     def key_spec(self) -> Dict[str, Any]:
         """The cache key-spec for this point."""
         return run_key_spec(
             self.app, self.n_nodes, self.params, self.knobs, self.seed,
             run_limit_us=self.run_limit_us,
-            livelock_limit=self.livelock_limit, window=self.window)
+            livelock_limit=self.livelock_limit, window=self.window,
+            faults=self.faults)
 
 
 def execute_point(task: PointTask) -> SweepPoint:
@@ -89,7 +92,7 @@ def execute_point(task: PointTask) -> SweepPoint:
                       knobs=task.knobs, seed=task.seed,
                       run_limit_us=task.run_limit_us,
                       livelock_limit=task.livelock_limit,
-                      window=task.window)
+                      window=task.window, faults=task.faults)
     point = SweepPoint(value=task.value, knobs=task.knobs)
     try:
         point.result = cluster.run(task.app)
@@ -97,6 +100,8 @@ def execute_point(task: PointTask) -> SweepPoint:
         point.failure = f"livelock: {exc}"
     except TimeoutError as exc:
         point.failure = f"budget exceeded: {exc}"
+    except FaultError as exc:
+        point.failure = f"network fault: {exc}"
     return point
 
 
@@ -109,19 +114,28 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                      livelock_limit: int = 200_000,
                      window: int = 8,
                      jobs: Optional[int] = None,
-                     cache: Optional[RunCache] = None) -> SweepResult:
+                     cache: Optional[RunCache] = None,
+                     fault_for: Optional[
+                         Callable[[float], Optional[FaultPlan]]] = None
+                     ) -> SweepResult:
     """The sweep engine behind :func:`repro.harness.sweeps.run_sweep`.
 
     ``jobs=None`` or ``jobs<=1`` runs points serially in-process;
     ``jobs>1`` fans cache misses across a process pool.  Point order in
     the returned :class:`SweepResult` always matches ``values``.
+
+    ``fault_for`` maps each dialed value to the
+    :class:`~repro.network.faults.FaultPlan` for that point (or None
+    for a perfectly reliable fabric), so fault sweeps reuse this exact
+    engine — including the cache and process pool.
     """
     params = params if params is not None else LogGPParams.berkeley_now()
     tasks = [
         PointTask(app=app, n_nodes=n_nodes, value=value,
                   knobs=knob_for(value), params=params, seed=seed,
                   run_limit_us=run_limit_us,
-                  livelock_limit=livelock_limit, window=window)
+                  livelock_limit=livelock_limit, window=window,
+                  faults=fault_for(value) if fault_for is not None else None)
         for value in values
     ]
     points: List[Optional[SweepPoint]] = [None] * len(tasks)

@@ -39,7 +39,7 @@ __all__ = ["RunCache", "run_key_spec", "app_fingerprint"]
 
 #: Bump to invalidate every existing cache entry when the simulator's
 #: event semantics change in a way that alters measured runtimes.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 def app_fingerprint(app: Any) -> Dict[str, Any]:
@@ -73,8 +73,17 @@ def run_key_spec(app: Any, n_nodes: int,
                  window_scope: str = "per-destination",
                  fabric: str = "flat",
                  disks_per_node: int = 2,
-                 cost: Optional[CostModel] = None) -> Dict[str, Any]:
-    """Everything that determines one run's outcome, as a JSON dict."""
+                 cost: Optional[CostModel] = None,
+                 faults: Optional["FaultPlan"] = None  # noqa: F821
+                 ) -> Dict[str, Any]:
+    """Everything that determines one run's outcome, as a JSON dict.
+
+    A null (all-defaults) fault plan keys identically to no plan at
+    all, matching the runtime guarantee that such runs are
+    bit-identical — so they share one cache entry.
+    """
+    if faults is not None and faults.is_null:
+        faults = None
     return {
         "format": CACHE_FORMAT,
         "app": app_fingerprint(app),
@@ -89,6 +98,7 @@ def run_key_spec(app: Any, n_nodes: int,
         "fabric": fabric,
         "disks_per_node": disks_per_node,
         "cost": dataclasses.asdict(cost if cost is not None else CostModel()),
+        "faults": dataclasses.asdict(faults) if faults is not None else None,
     }
 
 

@@ -18,18 +18,24 @@ from typing import Callable, List, Optional, Sequence
 from repro.am.tuning import TuningKnobs
 from repro.apps.base import Application
 from repro.cluster.machine import RunResult
+from repro.network.faults import DelaySpike, FaultPlan
 from repro.network.loggp import LogGPParams
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "overhead_sweep",
            "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
+           "fault_sweep", "spike_decay_sweep", "NO_SPIKE",
            "PAPER_OVERHEADS", "PAPER_GAPS", "PAPER_LATENCIES",
-           "PAPER_BANDWIDTHS"]
+           "PAPER_BANDWIDTHS", "FAULT_DROP_RATES"]
 
 #: The paper's sweep grids (absolute parameter targets).
 PAPER_OVERHEADS = (2.9, 3.9, 4.9, 6.9, 7.9, 13.0, 23.0, 53.0, 103.0)
 PAPER_GAPS = (5.8, 8.0, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0)
 PAPER_LATENCIES = (5.0, 7.5, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0)
 PAPER_BANDWIDTHS = (38.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.5, 3.0, 1.0)
+
+#: Per-packet drop probabilities for the fault-tolerance sweep.  The
+#: first (0.0) point is the baseline: a null plan on a perfect fabric.
+FAULT_DROP_RATES = (0.0, 0.001, 0.005, 0.01, 0.02, 0.05)
 
 
 @dataclass
@@ -88,9 +94,18 @@ class SweepResult:
                 for p in self.points if p.completed]
 
     def as_rows(self) -> List[dict]:
-        """Flat dict rows (value, runtime, slowdown) per point."""
+        """Flat dict rows (value, runtime, slowdown) per point.
+
+        Unlike :meth:`slowdowns` / :meth:`series`, a failed *baseline*
+        does not raise here: report generation over a whole suite must
+        not crash because one sweep's first point livelocked, so every
+        point's slowdown is simply ``"N/A"`` in that case.
+        """
+        base = self.baseline.runtime_us
         rows = []
-        for point, slowdown in zip(self.points, self.slowdowns()):
+        for point in self.points:
+            slowdown = point.runtime_us / base \
+                if point.completed and base is not None else None
             rows.append({
                 "app": self.app_name,
                 self.parameter: point.value,
@@ -111,14 +126,17 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
               livelock_limit: int = 200_000,
               window: int = 8,
               jobs: Optional[int] = None,
-              cache: Optional["RunCache"] = None  # noqa: F821
+              cache: Optional["RunCache"] = None,  # noqa: F821
+              fault_for: Optional[
+                  Callable[[float], Optional[FaultPlan]]] = None
               ) -> SweepResult:
     """Run ``app`` at each dialed value; first value is the baseline.
 
     ``jobs`` > 1 fans the points across a process pool (bit-identical
     results — see :mod:`repro.harness.parallel`); ``cache`` is an
     optional :class:`~repro.harness.runcache.RunCache` consulted before
-    simulating and updated after.
+    simulating and updated after.  ``fault_for`` optionally maps each
+    value to a :class:`~repro.network.faults.FaultPlan` for that point.
     """
     # Imported lazily: parallel imports this module for SweepPoint/Result.
     from repro.harness.parallel import run_sweep_points
@@ -126,7 +144,7 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
                             params=params, seed=seed,
                             run_limit_us=run_limit_us,
                             livelock_limit=livelock_limit, window=window,
-                            jobs=jobs, cache=cache)
+                            jobs=jobs, cache=cache, fault_for=fault_for)
 
 
 def overhead_sweep(app: Application, n_nodes: int,
@@ -177,3 +195,56 @@ def bulk_bandwidth_sweep(app: Application, n_nodes: int,
         app, n_nodes, "bulk_mb_s", bandwidths,
         lambda mb: TuningKnobs.bulk_bandwidth(mb, params),
         params=params, **kwargs)
+
+
+def fault_sweep(app: Application, n_nodes: int,
+                drop_rates: Sequence[float] = FAULT_DROP_RATES,
+                base_plan: Optional[FaultPlan] = None,
+                **kwargs) -> SweepResult:
+    """Slowdown as a function of per-packet drop probability.
+
+    The machine dials stay at the unmodified baseline; the only thing
+    swept is the fault injector's drop rate.  Rate 0.0 yields a null
+    plan, so the baseline point is bit-identical to an ordinary
+    fault-free run (and shares its cache entry).  ``base_plan`` lets
+    callers fix non-drop aspects (timeouts, retries, drop kinds).
+    """
+    plan = base_plan if base_plan is not None else FaultPlan()
+    return run_sweep(
+        app, n_nodes, "drop_rate", drop_rates,
+        lambda _rate: TuningKnobs(),
+        fault_for=lambda rate: plan.with_changes(drop_rate=rate),
+        **kwargs)
+
+
+#: Sentinel sweep value for the no-spike baseline point of
+#: :func:`spike_decay_sweep` (spike start times are always >= 0).
+NO_SPIKE = -1.0
+
+
+def spike_decay_sweep(app: Application, n_nodes: int,
+                      node: int, duration_us: float,
+                      starts: Sequence[float],
+                      **kwargs) -> SweepResult:
+    """How a one-off delay spike's cost decays with its start time.
+
+    Each point injects a single Afzal-style delay spike of
+    ``duration_us`` at ``node``, beginning at one of ``starts``
+    (simulated µs); the swept parameter is the start time.  The
+    baseline point (sentinel value :data:`NO_SPIKE`) runs with no
+    fault plan at all, so each point's residual over the baseline
+    measures how much of the spike the application absorbed versus
+    propagated.
+    """
+    values = (NO_SPIKE,) + tuple(starts)
+
+    def fault_for(start: float) -> Optional[FaultPlan]:
+        if start < 0:
+            return None
+        return FaultPlan(spikes=(
+            DelaySpike(node=node, start_us=start,
+                       duration_us=duration_us),))
+
+    return run_sweep(
+        app, n_nodes, "spike_start_us", values,
+        lambda _start: TuningKnobs(), fault_for=fault_for, **kwargs)

@@ -37,6 +37,17 @@ class ClusterStats:
         self.barriers = np.zeros(n_nodes, dtype=np.int64)
         #: Failed lock acquisition attempts per node (Barnes livelock).
         self.failed_lock_attempts = np.zeros(n_nodes, dtype=np.int64)
+        #: Packets dropped by the fault injector, charged to the sender.
+        self.packets_dropped = np.zeros(n_nodes, dtype=np.int64)
+        #: Reliability-protocol retransmissions per sending node.
+        self.retransmissions = np.zeros(n_nodes, dtype=np.int64)
+        #: Duplicate packets suppressed per receiving node.
+        self.duplicates_suppressed = np.zeros(n_nodes, dtype=np.int64)
+        #: Bulk transfers still unreassembled at teardown (the leak
+        #: diagnostic; set once per run, not gated on the timed region).
+        self.reassembly_leaks = np.zeros(n_nodes, dtype=np.int64)
+        #: Simulated µs each node's NIC transmit context was busy.
+        self.tx_busy_us = np.zeros(n_nodes, dtype=np.float64)
         #: Application start/end in simulated µs (set by the runtime).
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -86,6 +97,34 @@ class ClusterStats:
         """``node_id`` had a lock acquisition denied (retry follows)."""
         self.failed_lock_attempts[node_id] += 1
 
+    def on_packet_dropped(self, node_id: int, packet: Packet) -> None:
+        """The fault injector dropped a packet sent by ``node_id``."""
+        if not self.enabled:
+            return
+        self.packets_dropped[node_id] += 1
+
+    def on_retransmit(self, node_id: int, packet: Packet) -> None:
+        """``node_id``'s NIC retransmitted an unacked packet."""
+        if not self.enabled:
+            return
+        self.retransmissions[node_id] += 1
+
+    def on_duplicate(self, node_id: int, packet: Packet) -> None:
+        """``node_id``'s NIC suppressed a duplicate sequence number."""
+        if not self.enabled:
+            return
+        self.duplicates_suppressed[node_id] += 1
+
+    def on_tx_busy(self, node_id: int, busy_us: float) -> None:
+        """``node_id``'s transmit context was busy for ``busy_us``."""
+        if not self.enabled:
+            return
+        self.tx_busy_us[node_id] += busy_us
+
+    def record_reassembly_leaks(self, node_id: int, count: int) -> None:
+        """Teardown diagnostic: bulk transfers that never completed."""
+        self.reassembly_leaks[node_id] = count
+
     # -- aggregates ---------------------------------------------------------
     @property
     def runtime_us(self) -> float:
@@ -115,16 +154,45 @@ class ClusterStats:
             return 1.0
         return self.max_messages_per_node / avg
 
+    @property
+    def total_packets_dropped(self) -> int:
+        """Packets removed by the fault injector, all nodes."""
+        return int(self.packets_dropped.sum())
+
+    @property
+    def total_retransmissions(self) -> int:
+        """Reliability-protocol retransmissions, all nodes."""
+        return int(self.retransmissions.sum())
+
+    @property
+    def total_duplicates_suppressed(self) -> int:
+        """Duplicate packets suppressed, all nodes."""
+        return int(self.duplicates_suppressed.sum())
+
+    @property
+    def total_reassembly_leaks(self) -> int:
+        """Bulk transfers still unreassembled at teardown, all nodes."""
+        return int(self.reassembly_leaks.sum())
+
+    @property
+    def transmit_busy_fraction(self) -> np.ndarray:
+        """Per-node fraction of the measured region the NIC transmit
+        context spent busy (DMA + injection stalls)."""
+        return self.tx_busy_us / self.runtime_us
+
     # -- serialisation (the on-disk run cache) -------------------------------
     _ARRAY_FIELDS = ("matrix", "messages_sent", "bulk_messages_sent",
                      "read_messages_sent", "small_bytes_sent",
                      "bulk_bytes_sent", "messages_received", "barriers",
-                     "failed_lock_attempts")
+                     "failed_lock_attempts", "packets_dropped",
+                     "retransmissions", "duplicates_suppressed",
+                     "reassembly_leaks")
+    _FLOAT_ARRAY_FIELDS = ("tx_busy_us",)
 
     def to_dict(self) -> dict:
         """JSON-safe dict capturing every counter (arrays as lists)."""
         data = {name: getattr(self, name).tolist()
-                for name in self._ARRAY_FIELDS}
+                for name in self._ARRAY_FIELDS + self._FLOAT_ARRAY_FIELDS}
         data["n_nodes"] = self.n_nodes
         data["started_at"] = self.started_at
         data["finished_at"] = self.finished_at
@@ -136,6 +204,9 @@ class ClusterStats:
         stats = cls(data["n_nodes"])
         for name in cls._ARRAY_FIELDS:
             array = np.asarray(data[name], dtype=np.int64)
+            getattr(stats, name)[...] = array
+        for name in cls._FLOAT_ARRAY_FIELDS:
+            array = np.asarray(data[name], dtype=np.float64)
             getattr(stats, name)[...] = array
         stats.started_at = data["started_at"]
         stats.finished_at = data["finished_at"]
@@ -152,6 +223,8 @@ class ClusterStats:
                 "small_bytes": int(self.small_bytes_sent[node]),
                 "bulk_bytes": int(self.bulk_bytes_sent[node]),
                 "barriers": int(self.barriers[node]),
+                "dropped": int(self.packets_dropped[node]),
+                "retransmits": int(self.retransmissions[node]),
             }
             for node in range(self.n_nodes)
         ]

@@ -18,18 +18,69 @@ apparatus exploits:
 Flow-control CREDIT packets are generated and consumed entirely inside
 the NIC (never reaching the host) and bypass the transmit gap, standing
 in for firmware-level acknowledgements.
+
+When the run's :class:`~repro.network.faults.FaultPlan` can drop
+packets, the NIC additionally runs a firmware-level **reliability
+protocol** (think of it as the LANai's go-back-nothing ARQ):
+
+* every injected packet -- requests, replies, bulk fragments *and*
+  CREDITs -- gets a per-NIC sequence number, stable across
+  retransmissions;
+* the receiving NIC acks every sequenced packet immediately on arrival
+  (before occupancy and the delay queue) with an ACK packet that
+  bypasses the transmit gap and is never itself retransmitted;
+* the sender holds retransmission state per outstanding packet: a lazy
+  timer (base timeout, exponential backoff) re-enqueues the packet if
+  the ack has not arrived, and raises
+  :class:`~repro.network.faults.RetryExhausted` once ``max_retries``
+  retransmissions go unacked -- surfacing a dead link as a structured
+  failure instead of a livelock;
+* the receiver suppresses duplicate sequence numbers (re-acking them,
+  since a duplicate means the previous ack was probably lost), so the
+  host-visible stream is exactly-once even though the wire is at-least-
+  once.
+
+With a reliable fabric (no plan, or a null plan) none of this machinery
+exists: no sequence numbers, no acks, no timers -- runs are bit-identical
+to a build without the protocol.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.am.tuning import TuningKnobs
+from repro.network.faults import FaultPlan, RetryExhausted
 from repro.network.loggp import LogGPParams
 from repro.network.packet import Packet, PacketKind
 from repro.sim import Simulator, Store
 
 __all__ = ["Nic"]
+
+
+class _Reassembly:
+    """In-progress bulk transfer: distinct fragment indices seen so far,
+    plus the final fragment (which carries handler/payload) if it has
+    already arrived out of order."""
+
+    __slots__ = ("indices", "last")
+
+    def __init__(self) -> None:
+        self.indices: Set[int] = set()
+        self.last: Optional[Packet] = None
+
+
+class _RetxState:
+    """Sender-held reliability state for one unacked packet."""
+
+    __slots__ = ("packet", "attempts", "timer_id")
+
+    def __init__(self, packet: Packet) -> None:
+        self.packet = packet
+        self.attempts = 0
+        #: Incremented at every injection; a pending timer only fires its
+        #: retransmission if it carries the current id (lazy cancel).
+        self.timer_id = 0
 
 
 class Nic:
@@ -46,13 +97,21 @@ class Nic:
     return_credit:
         Callback invoked with the original request's ``xfer_id`` when a
         flow-control credit comes back (REPLY arrival or CREDIT packet).
+    stats:
+        Optional :class:`~repro.instruments.stats.ClusterStats` receiving
+        transmit-busy time and reliability counters.
+    faults:
+        The run's :class:`~repro.network.faults.FaultPlan`; the
+        reliability protocol engages only when the plan can drop packets.
     """
 
     def __init__(self, sim: Simulator, node_id: int, params: LogGPParams,
                  knobs: TuningKnobs, wire: "Wire",  # noqa: F821
                  deliver_to_host: Callable[[Packet], None],
                  return_credit: Callable[[int], None],
-                 tracer: Optional["MessageTracer"] = None) -> None:  # noqa: F821
+                 tracer: Optional["MessageTracer"] = None,  # noqa: F821
+                 stats: Optional["ClusterStats"] = None,  # noqa: F821
+                 faults: Optional[FaultPlan] = None) -> None:
         self.sim = sim
         self.node_id = node_id
         self.params = params
@@ -61,6 +120,9 @@ class Nic:
         self._deliver_to_host = deliver_to_host
         self._return_credit = return_credit
         self.tracer = tracer
+        self.stats = stats
+        self.faults = faults
+        self._reliable = faults is not None and faults.needs_reliability
         self._tx_queue: Store = Store(sim, name=f"tx[{node_id}]")
         # With non-zero occupancy the receive context becomes a serial
         # processor: each arriving packet holds it for delta_occ before
@@ -70,11 +132,21 @@ class Nic:
             self._rx_queue = Store(sim, name=f"rx[{node_id}]")
             sim.process(self._receive_context(),
                         name=f"nic-rx[{node_id}]")
-        self._fragments_seen: Dict[int, int] = {}
+        self._reassembly: Dict[int, _Reassembly] = {}
         self._delay_queue_depth = 0
         self.packets_injected = 0
         self.bytes_injected = 0
-        self.tx_busy_until = 0.0
+        #: Simulated µs this NIC's transmit context spent busy (DMA +
+        #: injection stalls); mirrored into ``ClusterStats`` so the
+        #: transmit-busy fraction of the measured region is reportable.
+        self.tx_busy_us = 0.0
+        # -- reliability-protocol state (empty on the reliable fabric) --
+        self._next_seq = 0
+        self._pending_retx: Dict[Tuple[int, int], _RetxState] = {}
+        self._seen_seqs: Dict[int, Set[int]] = {}
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
         sim.process(self._transmit_context(), name=f"nic-tx[{node_id}]")
         wire.attach(node_id, self)
 
@@ -131,16 +203,98 @@ class Nic:
             if self.tracer is not None:
                 self.tracer.record("injected", packet.xfer_id,
                                    self.sim.now)
-            self.wire.carry(packet)
+            self._inject(packet)
             stall = self._post_injection_stall(packet, pre_time)
-            self.tx_busy_until = self.sim.now + stall
+            self.tx_busy_us += pre_time + stall
+            if self.stats is not None:
+                self.stats.on_tx_busy(self.node_id, pre_time + stall)
             if stall > 0:
                 yield self.sim.timeout(stall)
 
+    # -- reliability protocol: sender side ----------------------------------
+    def _inject(self, packet: Packet) -> None:
+        """Put a packet on the wire, arming retransmission if needed."""
+        if self._reliable and packet.kind is not PacketKind.ACK:
+            self._arm_retransmit(packet)
+        self.wire.carry(packet)
+
+    def _arm_retransmit(self, packet: Packet) -> None:
+        if packet.seq is None:
+            packet.seq = self._next_seq
+            self._next_seq += 1
+            state = _RetxState(packet)
+            self._pending_retx[(packet.dst, packet.seq)] = state
+        else:
+            state = self._pending_retx.get((packet.dst, packet.seq))
+            if state is None:
+                # Acked while a retransmitted copy sat in the transmit
+                # queue; the receiver will just suppress the duplicate.
+                return
+        state.timer_id += 1
+        delay = self.faults.retx_timeout_us * \
+            (self.faults.retx_backoff ** state.attempts)
+        timer = self.sim.timeout(delay)
+        timer.callbacks.append(
+            lambda _e, p=packet, t=state.timer_id:
+            self._retx_timer_fired(p, t))
+
+    def _retx_timer_fired(self, packet: Packet, timer_id: int) -> None:
+        state = self._pending_retx.get((packet.dst, packet.seq))
+        if state is None or state.timer_id != timer_id:
+            return  # acked, or superseded by a later injection's timer
+        if state.attempts >= self.faults.max_retries:
+            raise RetryExhausted(packet.src, packet.dst, packet.xfer_id,
+                                 packet.seq, state.attempts)
+        state.attempts += 1
+        self.retransmissions += 1
+        if self.stats is not None:
+            self.stats.on_retransmit(self.node_id, packet)
+        if packet.kind is PacketKind.CREDIT:
+            # CREDITs bypass the transmit context on first send; they do
+            # on retransmit too.
+            self._inject(packet)
+        else:
+            self._tx_queue.put(packet)
+
+    def _ack_received(self, ack: Packet) -> None:
+        # A stale ack (for a packet already acked via an earlier copy)
+        # finds no state and is simply ignored.
+        self._pending_retx.pop((ack.src, ack.payload), None)
+
+    @property
+    def unacked_packets(self) -> int:
+        """Outstanding reliability-protocol packets (diagnostic)."""
+        return len(self._pending_retx)
+
+    # -- reliability protocol: receiver side ---------------------------------
+    def _send_ack(self, packet: Packet) -> None:
+        """Firmware-level ack: straight onto the wire, no gap, never
+        retransmitted (a lost ack is recovered by the sender's
+        retransmission, which is then re-acked here)."""
+        self.acks_sent += 1
+        ack = Packet(kind=PacketKind.ACK, src=self.node_id,
+                     dst=packet.src, payload=packet.seq, size_bytes=8)
+        self.wire.carry(ack)
+
     # -- receive context ----------------------------------------------------
     def receive_from_wire(self, packet: Packet) -> None:
-        """Wire delivery point: occupancy first (if dialed), then the
-        delay queue for ``delta_L``."""
+        """Wire delivery point: reliability bookkeeping first (acks and
+        duplicate suppression are firmware-level), then occupancy (if
+        dialed), then the delay queue for ``delta_L``."""
+        if self._reliable:
+            if packet.kind is PacketKind.ACK:
+                self._ack_received(packet)
+                return
+            if packet.seq is not None:
+                seen = self._seen_seqs.setdefault(packet.src, set())
+                if packet.seq in seen:
+                    self.duplicates_suppressed += 1
+                    if self.stats is not None:
+                        self.stats.on_duplicate(self.node_id, packet)
+                    self._send_ack(packet)
+                    return
+                seen.add(packet.seq)
+                self._send_ack(packet)
         if self._rx_queue is not None:
             self._rx_queue.put(packet)
             return
@@ -187,21 +341,45 @@ class Nic:
         self._deliver_to_host(packet)
 
     def _accept_fragment(self, packet: Packet) -> None:
-        """Reassemble bulk fragments; deliver the message on the last."""
-        _index, count = packet.fragment
-        seen = self._fragments_seen.get(packet.xfer_id, 0) + 1
-        if seen < count:
-            self._fragments_seen[packet.xfer_id] = seen
+        """Reassemble bulk fragments; deliver once every *distinct*
+        index has arrived.
+
+        Tracking distinct indices (not a packet count) keeps a
+        duplicated or reordered fragment from completing a transfer
+        early with missing data; the final fragment is stashed if it
+        arrives out of order, because it alone carries the handler and
+        payload for delivery.
+        """
+        index, count = packet.fragment
+        entry = self._reassembly.get(packet.xfer_id)
+        if entry is None:
+            entry = self._reassembly[packet.xfer_id] = _Reassembly()
+        entry.indices.add(index)
+        if index == count - 1:
+            entry.last = packet
+        if len(entry.indices) < count:
             return
-        self._fragments_seen.pop(packet.xfer_id, None)
-        if packet.one_way:
-            self._send_nic_credit(packet)
-        elif packet.is_reply:
+        final = entry.last
+        del self._reassembly[packet.xfer_id]
+        if final.one_way:
+            self._send_nic_credit(final)
+        elif final.is_reply:
             # A bulk reply completes a request: the window credit its
             # request took comes back here, as for a short REPLY.
-            self._return_credit(packet.xfer_id)
-        self._record_delivery(packet)
-        self._deliver_to_host(packet)
+            self._return_credit(final.xfer_id)
+        self._record_delivery(final)
+        self._deliver_to_host(final)
+
+    def reassembly_teardown(self) -> int:
+        """Drop in-progress reassembly state at end of run.
+
+        Returns the number of transfers that never completed (leaked
+        entries) -- zero on a reliable fabric, and a useful diagnostic
+        once packets can be lost.
+        """
+        leaked = len(self._reassembly)
+        self._reassembly.clear()
+        return leaked
 
     def _record_delivery(self, packet: Packet) -> None:
         if self.tracer is not None:
@@ -210,11 +388,12 @@ class Nic:
     def _send_nic_credit(self, packet: Packet) -> None:
         """Firmware-level flow-control ack: straight back onto the wire,
         bypassing our transmit context (the LANai's dual-context
-        property) and never touching the host."""
+        property) and never touching the host.  Under a lossy plan the
+        CREDIT is sequenced and retransmitted like any data packet."""
         credit = Packet(kind=PacketKind.CREDIT, src=self.node_id,
                         dst=packet.src, payload=packet.xfer_id,
                         size_bytes=8)
-        self.wire.carry(credit)
+        self._inject(credit)
 
     @property
     def delay_queue_depth(self) -> int:

@@ -46,6 +46,11 @@ class PacketKind(Enum):
     CREDIT = "credit"
     #: One fragment of a bulk transfer.
     BULK_FRAGMENT = "bulk_fragment"
+    #: Reliability-protocol acknowledgement (only exists when a
+    #: :class:`~repro.network.faults.FaultPlan` can drop packets);
+    #: consumed by the sending NIC, never reaches the host, bypasses the
+    #: transmit gap, and is itself never retransmitted.
+    ACK = "ack"
 
 
 @dataclass
@@ -84,6 +89,11 @@ class Packet:
     message_bytes: Optional[int] = None
     #: Simulated time the packet was injected into the wire (set by NIC).
     injected_at: float = 0.0
+    #: Reliability-protocol sequence number, assigned by the sending NIC
+    #: at first injection when the fault plan can drop packets; stable
+    #: across retransmissions so the receiver can suppress duplicates.
+    #: ``None`` on the reliable-fabric fast path.
+    seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

@@ -25,17 +25,27 @@ class Wire:
     NICs register themselves via :meth:`attach`; :meth:`carry` schedules
     delivery of a packet into the destination NIC's receive context after
     the base latency.
+
+    An optional :class:`~repro.network.faults.FaultInjector` makes the
+    fabric imperfect: it may drop a packet outright or stretch its
+    transit (delay spikes, slowdown windows).  Without an injector the
+    fast path is untouched.
     """
 
-    def __init__(self, sim: "Simulator", latency: float) -> None:  # noqa: F821
+    def __init__(self, sim: "Simulator", latency: float,  # noqa: F821
+                 injector: Optional["FaultInjector"] = None,  # noqa: F821
+                 stats: Optional["ClusterStats"] = None) -> None:  # noqa: F821
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         self.sim = sim
         self.latency = latency
+        self.injector = injector
+        self.stats = stats
         self._nics: Dict[int, "Nic"] = {}  # noqa: F821
         self._in_flight = 0
         self._max_in_flight = 0
         self._packets_carried = 0
+        self._packets_dropped = 0
 
     def attach(self, node_id: int, nic: "Nic") -> None:  # noqa: F821
         """Register the NIC serving ``node_id``."""
@@ -44,17 +54,28 @@ class Wire:
         self._nics[node_id] = nic
 
     def carry(self, packet: Packet) -> None:
-        """Put ``packet`` on the wire; it arrives at ``dst`` after ``L``."""
+        """Put ``packet`` on the wire; it arrives at ``dst`` after ``L``
+        (or later -- or never -- under an active fault plan)."""
         nic = self._nics.get(packet.dst)
         if nic is None:
             raise KeyError(f"no NIC attached for node {packet.dst}")
+        if self.injector is None:
+            delay = self.latency
+        else:
+            delay = self.injector.transit_delay(packet, self.sim.now,
+                                                self.latency)
+            if delay is None:
+                self._packets_dropped += 1
+                if self.stats is not None:
+                    self.stats.on_packet_dropped(packet.src, packet)
+                return
         self._in_flight += 1
         self._max_in_flight = max(self._max_in_flight, self._in_flight)
         self._packets_carried += 1
         packet.injected_at = self.sim.now
         arrival = self.sim.event(name=f"arrive:{packet.xfer_id}")
         arrival.callbacks.append(lambda _e: self._deliver(nic, packet))
-        arrival.succeed(None, delay=self.latency)
+        arrival.succeed(None, delay=delay)
 
     def _deliver(self, nic: "Nic", packet: Packet) -> None:  # noqa: F821
         self._in_flight -= 1
@@ -75,3 +96,8 @@ class Wire:
     def packets_carried(self) -> int:
         """Total packets ever carried."""
         return self._packets_carried
+
+    @property
+    def packets_dropped(self) -> int:
+        """Total packets removed by the fault injector."""
+        return self._packets_dropped

@@ -1,0 +1,404 @@
+"""Fault injection and the AM reliability protocol.
+
+The contract under test: a null plan is bit-identical to no plan at
+all; seeded faults replay bit-identically (and hit the run cache);
+packet loss is recovered exactly-once by the NIC's ack/retransmit
+machinery; a dead link surfaces as a structured failure, not a
+livelock; and the satellite fixes (fragment reassembly by distinct
+index, reassembly-leak teardown, transmit-busy accounting, N/A rows on
+a failed baseline) hold.
+"""
+
+import pytest
+
+from repro.am.tuning import TuningKnobs
+from repro.apps import RadixSort
+from repro.apps.base import Application
+from repro.cluster.machine import Cluster
+from repro.harness import RunCache, fault_sweep, spike_decay_sweep
+from repro.harness.runcache import run_key_spec
+from repro.harness.sweeps import SweepPoint, SweepResult
+from repro.network.faults import (DelaySpike, FaultInjector, FaultPlan,
+                                  RetryExhausted, SlowdownWindow)
+from repro.network.loggp import LogGPParams
+from repro.network.nic import Nic
+from repro.network.packet import Packet, PacketKind
+from repro.network.wire import Wire
+from repro.sim import Simulator
+
+
+def tiny_radix():
+    return RadixSort(keys_per_proc=32)
+
+
+def lossy_plan(**overrides):
+    """A drop plan with short timeouts so tests stay fast."""
+    spec = dict(drop_rate=0.02, retx_timeout_us=60.0)
+    spec.update(overrides)
+    return FaultPlan(**spec)
+
+
+def fingerprint(result):
+    return (result.runtime_us, result.events_processed,
+            result.stats.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan semantics.
+# ---------------------------------------------------------------------------
+
+def test_default_plan_is_null_and_needs_no_reliability():
+    plan = FaultPlan()
+    assert plan.is_null
+    assert not plan.needs_reliability
+    assert plan.as_spec() is None
+    assert plan.describe() == "no faults"
+
+
+def test_spike_only_plan_is_not_null_but_skips_reliability():
+    plan = FaultPlan(spikes=(DelaySpike(node=0, start_us=10.0,
+                                        duration_us=5.0),))
+    assert not plan.is_null
+    assert not plan.needs_reliability  # nothing is lost, only delayed
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(retx_timeout_us=0.0)
+    with pytest.raises(ValueError):
+        DelaySpike(node=0, start_us=-1.0, duration_us=5.0)
+    with pytest.raises(ValueError):
+        SlowdownWindow(node=0, start_us=0.0, duration_us=5.0, factor=0.5)
+
+
+def test_null_plan_needs_no_injector():
+    with pytest.raises(ValueError):
+        FaultInjector(FaultPlan(), seed=0)
+
+
+def test_injector_streams_depend_on_seed_and_salt():
+    plan = FaultPlan(drop_rate=0.5)
+
+    def draws(seed, salt=0):
+        injector = FaultInjector(plan.with_changes(salt=salt), seed)
+        return [injector._rng.random_sample() for _ in range(8)]
+
+    assert draws(1) == draws(1)
+    assert draws(1) != draws(2)
+    assert draws(1) != draws(1, salt=9)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance bar: null-plan bit-identity.
+# ---------------------------------------------------------------------------
+
+def test_null_plan_bit_identical_to_no_plan():
+    bare = Cluster(n_nodes=4, seed=3).run(tiny_radix())
+    nulled = Cluster(n_nodes=4, seed=3, faults=FaultPlan()).run(tiny_radix())
+    assert fingerprint(bare) == fingerprint(nulled)
+
+
+def test_lossy_run_completes_and_replays_bit_identically():
+    plan = lossy_plan()
+    first = Cluster(n_nodes=4, seed=3, faults=plan).run(tiny_radix())
+    second = Cluster(n_nodes=4, seed=3, faults=plan).run(tiny_radix())
+    assert fingerprint(first) == fingerprint(second)
+    assert first.stats.total_packets_dropped > 0
+    assert first.stats.total_retransmissions > 0
+    assert first.stats.total_reassembly_leaks == 0
+    # Loss costs time: retransmission timeouts land on the critical path.
+    baseline = Cluster(n_nodes=4, seed=3).run(tiny_radix())
+    assert first.runtime_us > baseline.runtime_us
+
+
+def test_lossy_run_output_still_validates():
+    # RadixSort.finalize asserts the distributed sort's output, so a
+    # completed run proves the host-visible stream was exactly-once.
+    result = Cluster(n_nodes=4, seed=5,
+                     faults=lossy_plan()).run(tiny_radix())
+    assert result.output is not None
+
+
+def test_faults_only_allowed_on_flat_fabric():
+    with pytest.raises(ValueError, match="flat"):
+        Cluster(n_nodes=4, fabric="myrinet", faults=lossy_plan())
+
+
+# ---------------------------------------------------------------------------
+# Structured failure: a dead link exhausts retries.
+# ---------------------------------------------------------------------------
+
+def test_total_loss_raises_retry_exhausted():
+    plan = FaultPlan(drop_rate=1.0, retx_timeout_us=10.0, max_retries=2)
+    with pytest.raises(RetryExhausted) as exc_info:
+        Cluster(n_nodes=2, seed=0, faults=plan).run(tiny_radix())
+    assert exc_info.value.attempts == 2
+
+
+def test_sweep_surfaces_retry_exhausted_as_na_point():
+    plan = FaultPlan(retx_timeout_us=10.0, max_retries=2)
+    sweep = fault_sweep(tiny_radix(), 2, drop_rates=(1.0,),
+                        base_plan=plan, seed=0)
+    point = sweep.points[0]
+    assert not point.completed
+    assert "network fault" in point.failure
+    # Satellite: a failed baseline must not crash row generation...
+    rows = sweep.as_rows()
+    assert all(row["slowdown"] == "N/A" for row in rows)
+    assert all(row["runtime_us"] == "N/A" for row in rows)
+    # ...while the strict accessors still raise, as before.
+    with pytest.raises(RuntimeError, match="baseline"):
+        sweep.slowdowns()
+    with pytest.raises(RuntimeError, match="baseline"):
+        sweep.series()
+
+
+def test_as_rows_failed_baseline_with_completed_points():
+    good = Cluster(n_nodes=2, seed=0).run(tiny_radix())
+    sweep = SweepResult(app_name="Radix", n_nodes=2, parameter="drop_rate")
+    sweep.points = [
+        SweepPoint(value=0.0, knobs=TuningKnobs(), failure="network fault"),
+        SweepPoint(value=0.01, knobs=TuningKnobs(), result=good),
+    ]
+    rows = sweep.as_rows()
+    assert rows[0]["runtime_us"] == "N/A"
+    assert rows[1]["runtime_us"] != "N/A"
+    assert [row["slowdown"] for row in rows] == ["N/A", "N/A"]
+
+
+# ---------------------------------------------------------------------------
+# The fault sweep: determinism + run cache (the acceptance criterion).
+# ---------------------------------------------------------------------------
+
+def sweep_fingerprint(sweep):
+    return [(p.value, p.runtime_us,
+             p.result.events_processed if p.completed else None,
+             p.failure) for p in sweep.points]
+
+
+def test_fault_sweep_is_deterministic_and_cacheable(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    rates = (0.0, 0.02)
+    first = fault_sweep(tiny_radix(), 4, drop_rates=rates, seed=3,
+                        base_plan=lossy_plan(), cache=cache)
+    second = fault_sweep(tiny_radix(), 4, drop_rates=rates, seed=3,
+                         base_plan=lossy_plan(), cache=cache)
+    assert sweep_fingerprint(first) == sweep_fingerprint(second)
+    assert cache.hits == len(rates)  # the whole second pass was cached
+    lossy = second.points[1]
+    assert lossy.result.stats.total_retransmissions > 0
+    assert lossy.runtime_us > second.baseline.runtime_us
+
+
+def test_null_plan_shares_cache_key_with_no_plan():
+    app = tiny_radix()
+    params = LogGPParams.berkeley_now()
+    bare = run_key_spec(app, 4, params, TuningKnobs(), seed=3)
+    nulled = run_key_spec(app, 4, params, TuningKnobs(), seed=3,
+                          faults=FaultPlan())
+    lossy = run_key_spec(app, 4, params, TuningKnobs(), seed=3,
+                         faults=lossy_plan())
+    assert bare == nulled
+    assert lossy != bare and lossy["faults"] is not None
+
+
+# ---------------------------------------------------------------------------
+# Delay spikes: propagation and FIFO ordering.
+# ---------------------------------------------------------------------------
+
+class _NicHarness:
+    """Two directly-wired NICs with a scripted wire for unit tests."""
+
+    def __init__(self, knobs=None, plan=None, seed=0):
+        self.sim = Simulator()
+        params = LogGPParams.berkeley_now()
+        knobs = knobs if knobs is not None else TuningKnobs()
+        injector = FaultInjector(plan, seed) if plan is not None else None
+        self.wire = Wire(self.sim, params.latency, injector=injector)
+        self.delivered = []
+        self.credits = []
+        self.sender = Nic(self.sim, 0, params, knobs, self.wire,
+                          deliver_to_host=lambda p: None,
+                          return_credit=self.credits.append)
+        self.receiver = Nic(self.sim, 1, params, knobs, self.wire,
+                            deliver_to_host=self.delivered.append,
+                            return_credit=lambda x: None)
+
+
+def test_delay_queue_keeps_fifo_order_under_spike():
+    # A spike compresses distinct arrival times onto the window's end;
+    # the delta_L delay queue must still deliver in injection order.
+    plan = FaultPlan(spikes=(DelaySpike(node=1, start_us=0.0,
+                                        duration_us=200.0),))
+    harness = _NicHarness(knobs=TuningKnobs(delta_L=25.0), plan=plan)
+    packets = [Packet(kind=PacketKind.REQUEST, src=0, dst=1,
+                      handler="h", payload=i) for i in range(5)]
+    for packet in packets:
+        harness.sender.enqueue(packet)
+    harness.sim.run()
+    assert [p.payload for p in harness.delivered] == [0, 1, 2, 3, 4]
+    # Every packet was held until the spike window closed, then queued
+    # for delta_L: first delivery at end_us + delta_L.
+    assert harness.delivered[0] is packets[0]
+
+
+def test_delay_queue_fifo_without_faults():
+    harness = _NicHarness(knobs=TuningKnobs(delta_L=25.0))
+    packets = [Packet(kind=PacketKind.REQUEST, src=0, dst=1,
+                      handler="h", payload=i) for i in range(4)]
+    for packet in packets:
+        harness.sender.enqueue(packet)
+    harness.sim.run()
+    assert [p.payload for p in harness.delivered] == [0, 1, 2, 3]
+
+
+def test_spike_holds_packets_until_window_end():
+    plan = FaultPlan(spikes=(DelaySpike(node=1, start_us=0.0,
+                                        duration_us=100.0),))
+    harness = _NicHarness(plan=plan)
+    harness.sender.enqueue(Packet(kind=PacketKind.REQUEST, src=0, dst=1,
+                                  handler="h"))
+    harness.sim.run()
+    assert harness.delivered
+    assert harness.sim.now >= 100.0
+    assert harness.wire.injector.packets_spiked == 1
+
+
+def test_slowdown_window_stretches_transit():
+    plan = FaultPlan(slowdowns=(SlowdownWindow(node=1, start_us=0.0,
+                                               duration_us=50.0,
+                                               factor=4.0),))
+    injector = FaultInjector(plan, seed=0)
+    packet = Packet(kind=PacketKind.REQUEST, src=0, dst=1)
+    assert injector.transit_delay(packet, now=10.0, base_latency=5.0) \
+        == pytest.approx(20.0)
+    # Outside the window the wire is back to normal.
+    assert injector.transit_delay(packet, now=60.0, base_latency=5.0) \
+        == pytest.approx(5.0)
+
+
+def test_spike_decay_sweep_residual_shrinks_with_late_spikes():
+    sweep = spike_decay_sweep(tiny_radix(), 4, node=0,
+                              duration_us=400.0,
+                              starts=(200.0, 10_000_000.0), seed=3)
+    base = sweep.baseline.runtime_us
+    early, late = sweep.points[1], sweep.points[2]
+    # A spike inside the run surfaces in the runtime; one scheduled far
+    # past the end of the run cannot.
+    assert early.runtime_us > base
+    assert late.runtime_us == pytest.approx(base)
+
+
+# ---------------------------------------------------------------------------
+# Credit loss (the CREDIT-retransmission satellite).
+# ---------------------------------------------------------------------------
+
+class _OneWayFlood(Application):
+    """Rank 0 floods rank 1 with one-way messages (credit-bound)."""
+
+    name = "oneway-flood"
+
+    def register_handlers(self, table):
+        table.register("flood_sink", lambda am, pkt: None)
+
+    def run_rank(self, proc):
+        if proc.rank == 0:
+            for _ in range(32):
+                yield from proc.am.send_oneway(1, "flood_sink")
+        else:
+            yield from proc.compute(1.0)
+
+
+def test_dropped_credits_are_retransmitted_not_deadlocked():
+    # Drop only CREDIT packets: the data arrives, but flow-control
+    # credits are lost and must be retransmitted or the sender's window
+    # starves forever.
+    plan = FaultPlan(drop_rate=0.5, drop_kinds=("credit",),
+                     retx_timeout_us=60.0, max_retries=20)
+    result = Cluster(n_nodes=2, seed=1, faults=plan,
+                     run_limit_us=1_000_000.0).run(_OneWayFlood())
+    assert result.stats.total_packets_dropped > 0
+    assert result.stats.total_retransmissions > 0
+    # Retransmitted credits come from the receiving node (node 1).
+    assert result.stats.retransmissions[1] > 0
+
+
+def test_drop_kinds_narrowing_leaves_other_kinds_alone():
+    plan = FaultPlan(drop_rate=1.0, drop_kinds=("ack",))
+    injector = FaultInjector(plan, seed=0)
+    request = Packet(kind=PacketKind.REQUEST, src=0, dst=1)
+    # Non-droppable kinds never consume a draw and are never dropped.
+    for _ in range(16):
+        assert injector.transit_delay(request, 0.0, 5.0) is not None
+    assert injector.packets_dropped == 0
+
+
+# ---------------------------------------------------------------------------
+# Fragment reassembly (the distinct-index satellite).
+# ---------------------------------------------------------------------------
+
+def bulk_fragment(index, count, xfer_id=77, **kw):
+    return Packet(kind=PacketKind.BULK_FRAGMENT, src=0, dst=1,
+                  size_bytes=64, fragment=(index, count), is_bulk=True,
+                  xfer_id=xfer_id, **kw)
+
+
+def test_duplicate_fragment_does_not_complete_transfer():
+    harness = _NicHarness()
+    nic = harness.receiver
+    nic.receive_from_wire(bulk_fragment(0, 2))
+    nic.receive_from_wire(bulk_fragment(0, 2))  # duplicate, not index 1
+    assert harness.delivered == []  # the pre-fix counter would deliver
+    nic.receive_from_wire(bulk_fragment(1, 2, handler="h", payload="tail"))
+    assert len(harness.delivered) == 1
+    assert harness.delivered[0].payload == "tail"
+
+
+def test_out_of_order_final_fragment_is_stashed():
+    harness = _NicHarness()
+    nic = harness.receiver
+    last = bulk_fragment(1, 2, handler="h", payload="tail")
+    nic.receive_from_wire(last)  # final fragment arrives first
+    assert harness.delivered == []
+    nic.receive_from_wire(bulk_fragment(0, 2))
+    assert harness.delivered == [last]
+
+
+def test_reassembly_teardown_reports_and_clears_leaks():
+    harness = _NicHarness()
+    nic = harness.receiver
+    nic.receive_from_wire(bulk_fragment(0, 3, xfer_id=1))
+    nic.receive_from_wire(bulk_fragment(0, 2, xfer_id=2))
+    assert nic.reassembly_teardown() == 2
+    assert nic.reassembly_teardown() == 0  # state actually cleared
+
+
+def test_cluster_records_reassembly_leaks_as_zero_when_reliable():
+    result = Cluster(n_nodes=4, seed=0).run(tiny_radix())
+    assert result.stats.total_reassembly_leaks == 0
+
+
+# ---------------------------------------------------------------------------
+# Transmit-busy accounting (the tx_busy_until satellite).
+# ---------------------------------------------------------------------------
+
+def test_transmit_busy_fraction_is_sane():
+    result = Cluster(n_nodes=4, seed=0).run(tiny_radix())
+    fractions = result.stats.transmit_busy_fraction
+    assert fractions.shape == (4,)
+    assert (fractions > 0.0).all()
+    assert (fractions <= 1.0).all()
+
+
+def test_stats_roundtrip_preserves_fault_counters():
+    from repro.instruments.stats import ClusterStats
+    result = Cluster(n_nodes=4, seed=3,
+                     faults=lossy_plan()).run(tiny_radix())
+    restored = ClusterStats.from_dict(result.stats.to_dict())
+    assert restored.total_packets_dropped == \
+        result.stats.total_packets_dropped
+    assert restored.total_retransmissions == \
+        result.stats.total_retransmissions
+    assert (restored.tx_busy_us == result.stats.tx_busy_us).all()

@@ -50,6 +50,33 @@ def test_seed_independent_rule_flags_the_em3d_bug_pattern():
     assert lines_by_rule(findings, "seed-independent-rng") == [3]
 
 
+def test_seed_independent_rule_accepts_fault_injector_derivation():
+    """The fault injector's seed derivation (run seed mixed with the
+    plan's salt) must lint clean — it is the sanctioned pattern."""
+    from repro.analysis.core import SourceFile, analyze_source
+    source = SourceFile("network/faults.py", (
+        "import numpy as np\n"
+        "def __init__(self, plan, seed):\n"
+        "    derived_seed = (seed * 1000003 + plan.salt * 7919) % 2**32\n"
+        "    self._rng = np.random.RandomState(derived_seed)\n"
+    ))
+    findings = analyze_source(source, default_rules())
+    assert lines_by_rule(findings, "seed-independent-rng") == []
+
+
+def test_seed_independent_rule_flags_salt_only_fault_rng():
+    """A fault RNG keyed only on the plan's salt replays one stream for
+    every --seed: the bug class the derivation rule exists to stop."""
+    from repro.analysis.core import SourceFile, analyze_source
+    source = SourceFile("network/faults.py", (
+        "import numpy as np\n"
+        "def __init__(self, plan, run_seed):\n"
+        "    self._rng = np.random.RandomState(plan.salt * 7919)\n"
+    ))
+    findings = analyze_source(source, default_rules())
+    assert lines_by_rule(findings, "seed-independent-rng") == [3]
+
+
 # -- SPMD / generator-contract pack ----------------------------------------
 
 def test_spmd_bad_fixture_golden_findings():
