@@ -84,7 +84,8 @@ class AmLayer:
                  window_scope: str = "per-destination",
                  stats: Optional["ClusterStats"] = None,
                  tracer: Optional["MessageTracer"] = None,  # noqa: F821
-                 faults: Optional["FaultPlan"] = None) -> None:  # noqa: F821
+                 faults: Optional["FaultPlan"] = None,  # noqa: F821
+                 sanitizer: Optional["Sanitizer"] = None) -> None:  # noqa: F821
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         if window_scope not in ("per-destination", "global"):
@@ -98,6 +99,7 @@ class AmLayer:
         self.window_scope = window_scope
         self.stats = stats
         self.tracer = tracer
+        self.sanitizer = sanitizer
         #: Flow control is per destination endpoint, as in GAM: ``window``
         #: outstanding requests per (src, dst) pair.  A single-partner
         #: exchange (the calibration microbenchmark) is throttled to
@@ -188,6 +190,10 @@ class AmLayer:
         yield self.sim.timeout(self.recv_cost)
         if self.stats is not None:
             self.stats.on_host_recv(self.node_id, packet)
+        if self.sanitizer is not None and packet.clock is not None:
+            # The happens-before edge of this delivery: join the
+            # sender's piggybacked snapshot into this rank's clock.
+            self.sanitizer.on_deliver(self.node_id, packet.clock)
         yield from self._dispatch(packet)
         if self.tracer is not None:
             self.tracer.record("handled", packet.xfer_id, self.sim.now)
@@ -230,7 +236,8 @@ class AmLayer:
         if callback is not None:
             callback(packet.payload)
 
-    def wait_until(self, predicate: Callable[[], bool]) -> Generator:
+    def wait_until(self, predicate: Callable[[], bool],
+                   wait: Optional[tuple] = None) -> Generator:
         """Poll until ``predicate()`` holds, sleeping between arrivals.
 
         The predicate may only become true as a consequence of this node's
@@ -239,14 +246,27 @@ class AmLayer:
         after *every* serviced message — a continuously refilling receive
         queue (e.g. a storm of lock retries) must not starve the waiter
         whose reply has already been processed.
+
+        ``wait`` is an optional ``(kind, peer_ranks, detail)`` annotation
+        for simsan's wait-for graph; callers pass it only when the
+        sanitizer is on (it is ignored otherwise), and the bookkeeping
+        is a single push/pop around the whole wait, off the per-message
+        resume path.
         """
-        while True:
-            if predicate():
-                return
-            if self._rx_queue:
-                yield from self._service_one()
-                continue
-            yield self._arm_wakeup()
+        watched = wait is not None and self.sanitizer is not None
+        if watched:
+            self.sanitizer.on_wait_enter(self.node_id, *wait)
+        try:
+            while True:
+                if predicate():
+                    return
+                if self._rx_queue:
+                    yield from self._service_one()
+                    continue
+                yield self._arm_wakeup()
+        finally:
+            if watched:
+                self.sanitizer.on_wait_exit(self.node_id)
 
     # -- sending --------------------------------------------------------------
     def _credit_key(self, dst: int) -> int:
@@ -265,7 +285,10 @@ class AmLayer:
         key = self._credit_key(dst)
         if key not in self._credits:
             self._credits[key] = self.window
-        yield from self.wait_until(lambda: self._credits[key] > 0)
+        wait = None if self.sanitizer is None else \
+            ("credit", (dst,), f"window slot toward rank {dst}")
+        yield from self.wait_until(lambda: self._credits[key] > 0,
+                                   wait=wait)
         self._credits[key] -= 1
 
     def _note_outstanding(self, packet: Packet) -> None:
@@ -275,6 +298,11 @@ class AmLayer:
         yield self.sim.timeout(self.send_cost)
 
     def _record_send(self, packet: Packet) -> None:
+        if self.sanitizer is not None:
+            # Every host-level send passes through here; piggyback the
+            # vector-clock snapshot (stable across NIC retransmissions,
+            # which reuse the Packet object).
+            packet.clock = self.sanitizer.on_send(self.node_id)
         if self.stats is not None:
             self.stats.on_send(self.node_id, packet)
         if self.tracer is not None:
@@ -323,7 +351,9 @@ class AmLayer:
         yield from self.send_request(dst, handler, payload=payload,
                                      size=size, is_read=is_read,
                                      on_reply=box.set)
-        yield from self.wait_until(box.arrived)
+        wait = None if self.sanitizer is None else \
+            ("reply", (dst,), f"reply to {handler!r}")
+        yield from self.wait_until(box.arrived, wait=wait)
         return box.value
 
     def send_oneway(self, dst: int, handler: str, payload: Any = None,
@@ -400,7 +430,9 @@ class AmLayer:
         box = _ReplyBox()
         yield from self.bulk_store(dst, handler, payload, nbytes,
                                    on_complete=box.set)
-        yield from self.wait_until(box.arrived)
+        wait = None if self.sanitizer is None else \
+            ("reply", (dst,), f"bulk acknowledgement from {handler!r}")
+        yield from self.wait_until(box.arrived, wait=wait)
         return box.value
 
     def bulk_oneway(self, dst: int, handler: str, payload: Any,
@@ -428,7 +460,9 @@ class AmLayer:
         yield from self.send_request(dst, handler, payload=payload,
                                      size=size, is_read=True,
                                      on_reply=box.set)
-        yield from self.wait_until(box.arrived)
+        wait = None if self.sanitizer is None else \
+            ("reply", (dst,), f"bulk reply to {handler!r}")
+        yield from self.wait_until(box.arrived, wait=wait)
         return box.value
 
     # -- replying (only valid inside a handler) -----------------------------
@@ -482,8 +516,15 @@ class AmLayer:
     # -- draining ------------------------------------------------------------
     def drain(self) -> Generator:
         """Wait until every window slot is back (all sends acknowledged)."""
+        wait = None
+        if self.sanitizer is not None:
+            owed = tuple(sorted(
+                key for key, credits in self._credits.items()
+                if credits < self.window and key >= 0))
+            wait = ("drain", owed, "outstanding acknowledgements")
         yield from self.wait_until(
-            lambda: all(c == self.window for c in self._credits.values()))
+            lambda: all(c == self.window for c in self._credits.values()),
+            wait=wait)
 
 
 class _ReplyBox:

@@ -20,7 +20,7 @@ from repro.analysis.core import (Finding, Rule, SourceFile, dotted_name,
                                  register_rule, walk_scope)
 
 __all__ = ["UnyieldedBlockingCallRule", "RankDependentCollectiveRule",
-           "HandlerArityRule"]
+           "HandlerArityRule", "HandlerPurityRule"]
 
 #: Runtime primitives that must be driven with ``yield from`` (or, for
 #: raw simulator events, ``yield``).
@@ -50,14 +50,19 @@ def _receiver_chain(call: ast.Call) -> Optional[List[str]]:
     return name.split(".") if name else None
 
 
-def _is_runtime_call(call: ast.Call) -> bool:
+def _is_runtime_primitive(call: ast.Call, primitives: frozenset) -> bool:
+    """Whether ``call`` invokes one of ``primitives`` on the runtime."""
     chain = _receiver_chain(call)
     if chain is None or len(chain) < 2:
         return False
-    if chain[-1] not in BLOCKING_PRIMITIVES:
+    if chain[-1] not in primitives:
         return False
     return chain[0] in _RUNTIME_BASES or \
         bool(_RUNTIME_SEGMENTS & set(chain[1:-1]))
+
+
+def _is_runtime_call(call: ast.Call) -> bool:
+    return _is_runtime_primitive(call, BLOCKING_PRIMITIVES)
 
 
 @register_rule
@@ -205,3 +210,63 @@ class HandlerArityRule(Rule):
                     f"handler takes {arity} positional argument(s); "
                     "Active Message handlers are called as "
                     "handler(am, packet)")
+
+
+#: Primitives an Active Message handler must never call.  Handlers run
+#: at interrupt level in the GAM model: they may compute, read host
+#: state, and answer via ``reply``/``reply_bulk`` — but blocking on the
+#: network (or recursing into it with fresh requests) from handler
+#: context wedges or reenters the layer.  ``reply``, ``reply_bulk``,
+#: ``compute`` and ``timeout`` stay allowed.
+HANDLER_BANNED = frozenset({
+    "lock", "unlock", "barrier", "broadcast", "reduce", "allreduce",
+    "rpc", "send_request", "send_oneway", "bulk_rpc", "bulk_store",
+    "bulk_store_blocking", "bulk_oneway", "bulk_get", "bulk_put",
+    "read", "write", "sync", "drain", "wait_until", "poll",
+})
+
+
+@register_rule
+class HandlerPurityRule(Rule):
+    """A registered AM handler calling a blocking/yielding primitive."""
+
+    rule_id = "handler-purity"
+    description = ("Active Message handler calls a blocking primitive; "
+                   "handlers run at interrupt level and may only "
+                   "compute and reply")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        functions: Dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        handlers: List[ast.AST] = []
+        seen: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "register"
+                    and len(node.args) >= 2):
+                continue
+            target = node.args[1]
+            if isinstance(target, ast.Lambda):
+                body = target
+            elif isinstance(target, ast.Name) and target.id in functions:
+                body = functions[target.id]
+            else:
+                continue
+            if id(body) not in seen:
+                seen.add(id(body))
+                handlers.append(body)
+        for handler in handlers:
+            nodes = ast.walk(handler.body) \
+                if isinstance(handler, ast.Lambda) else walk_scope(handler)
+            for node in nodes:
+                if isinstance(node, ast.Call) and \
+                        _is_runtime_primitive(node, HANDLER_BANNED):
+                    name = dotted_name(node.func)
+                    yield self.finding(
+                        source, node,
+                        f"{name}(...) called from an Active Message "
+                        "handler; handlers run at interrupt level and "
+                        "may only compute and reply")

@@ -15,13 +15,13 @@ from typing import Any, List, Optional
 from repro.am.layer import AmLayer, DEFAULT_WINDOW, HandlerTable
 from repro.am.tuning import TuningKnobs
 from repro.cluster.node import CostModel, Node
-from repro.gas.runtime import Proc, register_gas_handlers
+from repro.gas.runtime import LivelockError, Proc, register_gas_handlers
 from repro.instruments.balance import balance_matrix, render_balance
 from repro.instruments.stats import ClusterStats
 from repro.instruments.summary import CommunicationSummary, summarize
 from repro.network.loggp import LogGPParams
 from repro.network.wire import Wire
-from repro.sim import Simulator
+from repro.sim import Simulator, StalledError
 
 __all__ = ["Cluster", "RunResult"]
 
@@ -41,6 +41,10 @@ class RunResult:
     output: Any = None
     #: Diagnostic: total simulator events processed for this run.
     events_processed: int = 0
+    #: :class:`~repro.sanitize.reports.SanitizerReport` when the run was
+    #: sanitized, else ``None``.  Deliberately absent from
+    #: :meth:`to_dict`: sanitized runs never enter the run cache.
+    sanitizer: Any = None
 
     @property
     def runtime_s(self) -> float:
@@ -129,6 +133,13 @@ class Cluster:
         plan is normalised to ``None``, so the reliability machinery is
         provably absent on the perfectly reliable fabric and such runs
         stay bit-identical to runs that never mention faults.
+    sanitize:
+        Run under the simsan happens-before sanitizer (see
+        ARCHITECTURE.md section 11): races land on
+        ``RunResult.sanitizer``, deadlocks raise
+        :class:`~repro.sanitize.reports.DeadlockError`.  The sanitizer
+        adds zero *simulated* cost, so runtime/event counts stay
+        bit-identical; sanitized runs are excluded from the run cache.
     """
 
     def __init__(self, n_nodes: int,
@@ -142,7 +153,8 @@ class Cluster:
                  seed: int = 0,
                  run_limit_us: Optional[float] = None,
                  livelock_limit: int = 200_000,
-                 faults: Optional["FaultPlan"] = None) -> None:  # noqa: F821
+                 faults: Optional["FaultPlan"] = None,  # noqa: F821
+                 sanitize: bool = False) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         self.n_nodes = n_nodes
@@ -165,6 +177,7 @@ class Cluster:
             raise ValueError(
                 "fault injection is only modelled on the flat fabric")
         self.faults = faults
+        self.sanitize = sanitize
 
     def with_knobs(self, knobs: TuningKnobs) -> "Cluster":
         """A cluster identical to this one but with different dials."""
@@ -175,7 +188,8 @@ class Cluster:
                        disks_per_node=self.disks_per_node, seed=self.seed,
                        run_limit_us=self.run_limit_us,
                        livelock_limit=self.livelock_limit,
-                       faults=self.faults)
+                       faults=self.faults,
+                       sanitize=self.sanitize)
 
     # -- running applications -------------------------------------------------
     def run(self, app: "Application",
@@ -208,6 +222,11 @@ class Cluster:
         app.configure(self.n_nodes, self.seed)
         app.register_handlers(table)
 
+        sanitizer = None
+        if self.sanitize:
+            from repro.sanitize.monitor import Sanitizer
+            sanitizer = Sanitizer(self.n_nodes, sim)
+
         procs: List[Proc] = []
         for node_id in range(self.n_nodes):
             node = Node(sim, node_id, self.cost,
@@ -215,10 +234,12 @@ class Cluster:
             am = AmLayer(sim, node_id, self.params, self.knobs, wire,
                          table, window=self.window,
                          window_scope=self.window_scope, stats=stats,
-                         tracer=tracer, faults=self.faults)
+                         tracer=tracer, faults=self.faults,
+                         sanitizer=sanitizer)
             proc = Proc(sim, node_id, self.n_nodes, node, am, stats=stats,
                         seed=self.seed,
-                        livelock_limit=self.livelock_limit)
+                        livelock_limit=self.livelock_limit,
+                        sanitizer=sanitizer)
             am.host = proc
             procs.append(proc)
 
@@ -228,7 +249,26 @@ class Cluster:
             for proc in procs
         ]
         done = sim.all_of(drivers)
-        sim.run(until=self.run_limit_us, stop_event=done)
+        try:
+            sim.run(until=self.run_limit_us, stop_event=done)
+        except StalledError as exc:
+            # The heap drained with ranks still blocked: a true deadlock.
+            # Diagnose it from the wait-for graph (rich annotations when
+            # the sanitizer is on; the raw blocked events otherwise).
+            from repro.sanitize.deadlock import diagnose_stall
+            from repro.sanitize.reports import DeadlockError
+            raise DeadlockError(
+                diagnose_stall(sanitizer, drivers, sim.now)) from exc
+        except LivelockError as exc:
+            if sanitizer is not None:
+                from repro.sanitize.deadlock import lock_cycle
+                from repro.sanitize.reports import DeadlockError
+                report = lock_cycle(sanitizer)
+                if report is not None:
+                    # The livelock is really a lock-ordering deadlock:
+                    # the spinning ranks wait on each other in a cycle.
+                    raise DeadlockError(report) from exc
+            raise
 
         for proc in procs:
             leaked = proc.am.nic.reassembly_teardown()
@@ -243,6 +283,7 @@ class Cluster:
             stats=stats,
             output=output,
             events_processed=sim.events_processed,
+            sanitizer=sanitizer.report() if sanitizer is not None else None,
         )
 
     def _drive(self, app: "Application", proc: Proc,  # noqa: F821

@@ -34,8 +34,11 @@ def barrier(proc: "Proc") -> Generator:  # noqa: F821
             token = (epoch, rnd)
             yield from proc.am.send_request(
                 partner, "_gas_barrier", token)
+            wait = None if proc.sanitizer is None else \
+                ("barrier", ((proc.rank - (1 << rnd)) % n,),
+                 f"barrier epoch {epoch} round {rnd}")
             yield from proc.am.wait_until(
-                lambda t=token: t in proc.barrier_tokens)
+                lambda t=token: t in proc.barrier_tokens, wait=wait)
             proc.barrier_tokens.discard(token)
     if proc.stats is not None:
         proc.stats.on_barrier(proc.rank)
@@ -55,7 +58,14 @@ def broadcast(proc: "Proc", value: Any = None, root: int = 0,
     vrank = (proc.rank - root) % n
     key = ("bcast", epoch)
     if vrank != 0:
-        yield from proc.am.wait_until(lambda: key in proc.collective_box)
+        wait = None
+        if proc.sanitizer is not None:
+            # The binomial-tree parent: clear the top set bit of vrank.
+            parent_v = vrank - (1 << (vrank.bit_length() - 1))
+            parent = (parent_v + root) % n
+            wait = ("collective", (parent,), f"bcast epoch {epoch}")
+        yield from proc.am.wait_until(
+            lambda: key in proc.collective_box, wait=wait)
         value = proc.collective_box.pop(key)
     # Forward down the binomial tree: the child spanning the largest
     # subtree first, so deep subtrees start as early as possible.
@@ -94,8 +104,11 @@ def reduce(proc: "Proc", value: Any,  # noqa: F821
         peer = vrank + bit
         if peer < n:
             key = ("reduce", epoch, k)
+            wait = None if proc.sanitizer is None else \
+                ("collective", ((peer + root) % n,),
+                 f"reduce epoch {epoch} round {k}")
             yield from proc.am.wait_until(
-                lambda kk=key: kk in proc.collective_box)
+                lambda kk=key: kk in proc.collective_box, wait=wait)
             partial = op(partial, proc.collective_box.pop(key))
     return partial
 

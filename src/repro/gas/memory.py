@@ -101,6 +101,10 @@ class GlobalArray:
         """Wire size of ``count`` elements."""
         return max(1, count * self.item_bytes)
 
+    def element_name(self, index: int) -> str:
+        """Human-readable name of one element, for sanitizer reports."""
+        return f"{self.name}[{index}]"
+
     def __repr__(self) -> str:
         return (f"<GlobalArray {self.name} len={self.length} "
                 f"{self.layout} over {self.n_ranks} ranks>")

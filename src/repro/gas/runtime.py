@@ -40,7 +40,8 @@ class Proc:
     def __init__(self, sim: Simulator, rank: int, n_ranks: int, node: Node,
                  am: AmLayer, stats: Optional[ClusterStats] = None,
                  seed: int = 0,
-                 livelock_limit: int = DEFAULT_LIVELOCK_LIMIT) -> None:
+                 livelock_limit: int = DEFAULT_LIVELOCK_LIMIT,
+                 sanitizer: Optional["Sanitizer"] = None) -> None:  # noqa: F821
         self.sim = sim
         self.rank = rank
         self.n_ranks = n_ranks
@@ -48,6 +49,10 @@ class Proc:
         self.am = am
         self.stats = stats
         self.livelock_limit = livelock_limit
+        self.sanitizer = sanitizer
+        #: Owner rank -> count of unacknowledged writes toward it; kept
+        #: only under the sanitizer, for sync() wait-for annotations.
+        self._pending_write_dsts: Dict[int, int] = {}
         #: Deterministic per-rank random stream for application use.
         self.rng = random.Random(seed * 1_000_003 + rank)
         #: Application-local scratch space (handlers reach it as
@@ -125,6 +130,8 @@ class Proc:
     def read(self, array: GlobalArray, index: int) -> Generator:
         """Blocking read of a global element (Split-C ``x := g[i]``)."""
         owner, local_index = array.owner_of(index)
+        if self.sanitizer is not None:
+            self.sanitizer.on_access(self.rank, array, index, "read")
         if owner == self.rank:
             yield from self.compute(self.cost.ops(1))
             return self._arrays[array.array_id][local_index]
@@ -141,6 +148,8 @@ class Proc:
         if mode not in ("put", "add", "min"):
             raise ValueError(f"unknown write mode {mode!r}")
         owner, local_index = array.owner_of(index)
+        if self.sanitizer is not None:
+            self.sanitizer.on_access(self.rank, array, index, mode)
         if owner == self.rank:
             _apply_write(self._arrays[array.array_id], local_index,
                          value, mode)
@@ -150,10 +159,32 @@ class Proc:
         yield from self.am.send_request(
             owner, "_gas_write",
             (array.array_id, local_index, value, mode),
-            on_reply=self._write_acked)
+            on_reply=self._ack_tracker(owner))
 
     def _write_acked(self, _payload: Any) -> None:
         self._pending_writes -= 1
+
+    def _ack_tracker(self, owner: int):
+        """The on-reply callback for a split-phase write toward ``owner``.
+
+        Flag off this is the shared :meth:`_write_acked` bound method
+        (no allocation); under the sanitizer a closure also maintains
+        the per-destination count that sync() annotations report.
+        """
+        if self.sanitizer is None:
+            return self._write_acked
+        dsts = self._pending_write_dsts
+        dsts[owner] = dsts.get(owner, 0) + 1
+
+        def acked(_payload: Any) -> None:
+            self._pending_writes -= 1
+            remaining = dsts[owner] - 1
+            if remaining:
+                dsts[owner] = remaining
+            else:
+                del dsts[owner]
+
+        return acked
 
     @property
     def pending_writes(self) -> int:
@@ -163,12 +194,20 @@ class Proc:
     def sync(self) -> Generator:
         """Wait for all outstanding writes to be acknowledged
         (Split-C's ``sync()``)."""
-        yield from self.am.wait_until(lambda: self._pending_writes == 0)
+        wait = None
+        if self.sanitizer is not None and self._pending_writes:
+            wait = ("sync", tuple(sorted(self._pending_write_dsts)),
+                    f"{self._pending_writes} unacknowledged write(s)")
+        yield from self.am.wait_until(
+            lambda: self._pending_writes == 0, wait=wait)
 
     def bulk_get(self, array: GlobalArray, start: int,
                  count: int) -> Generator:
         """Blocking bulk read of a contiguous remote run."""
         owner, local_start = array.owner_of_range(start, count)
+        if self.sanitizer is not None:
+            self.sanitizer.on_range(self.rank, array, start, count,
+                                    "bulk_get")
         if owner == self.rank:
             storage = self._arrays[array.array_id]
             values = storage[local_start:local_start + count].copy()
@@ -186,6 +225,9 @@ class Proc:
         values = np.asarray(values)
         count = len(values)
         owner, local_start = array.owner_of_range(start, count)
+        if self.sanitizer is not None:
+            self.sanitizer.on_range(self.rank, array, start, count,
+                                    "bulk_put")
         if owner == self.rank:
             storage = self._arrays[array.array_id]
             storage[local_start:local_start + count] = values
@@ -197,7 +239,7 @@ class Proc:
             owner, "_gas_bulk_put",
             (array.array_id, local_start, values),
             array.transfer_bytes(count),
-            on_complete=self._write_acked)
+            on_complete=self._ack_tracker(owner))
 
     # -- collectives -----------------------------------------------------------
     def barrier(self) -> Generator:

@@ -35,6 +35,7 @@ from repro.harness.runcache import RunCache, run_key_spec
 from repro.harness.sweeps import SweepPoint, SweepResult
 from repro.network.faults import FaultError, FaultPlan
 from repro.network.loggp import LogGPParams
+from repro.sanitize.reports import DeadlockError
 
 __all__ = ["execute_point", "run_sweep_points", "run_sweep_parallel",
            "run_experiments_parallel", "default_jobs", "PointTask"]
@@ -71,6 +72,10 @@ class PointTask:
     livelock_limit: int = 200_000
     window: int = 8
     faults: Optional[FaultPlan] = None
+    #: Run under simsan.  Never part of :meth:`key_spec` — sanitized
+    #: points bypass the cache entirely instead of forking the key space
+    #: (the run itself is bit-identical either way).
+    sanitize: bool = False
 
     def key_spec(self) -> Dict[str, Any]:
         """The cache key-spec for this point."""
@@ -92,16 +97,22 @@ def execute_point(task: PointTask) -> SweepPoint:
                       knobs=task.knobs, seed=task.seed,
                       run_limit_us=task.run_limit_us,
                       livelock_limit=task.livelock_limit,
-                      window=task.window, faults=task.faults)
+                      window=task.window, faults=task.faults,
+                      sanitize=task.sanitize)
     point = SweepPoint(value=task.value, knobs=task.knobs)
+    # Failure taxonomy: the prefix before ":" is the category that
+    # SweepPoint.failure_category surfaces.  DeadlockError must be
+    # caught before TimeoutError (it is a subclass).
     try:
         point.result = cluster.run(task.app)
+    except DeadlockError as exc:
+        point.failure = f"deadlock: {exc}"
     except LivelockError as exc:
         point.failure = f"livelock: {exc}"
     except TimeoutError as exc:
         point.failure = f"budget exceeded: {exc}"
     except FaultError as exc:
-        point.failure = f"network fault: {exc}"
+        point.failure = f"fault: {exc}"
     return point
 
 
@@ -116,8 +127,8 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                      jobs: Optional[int] = None,
                      cache: Optional[RunCache] = None,
                      fault_for: Optional[
-                         Callable[[float], Optional[FaultPlan]]] = None
-                     ) -> SweepResult:
+                         Callable[[float], Optional[FaultPlan]]] = None,
+                     sanitize: bool = False) -> SweepResult:
     """The sweep engine behind :func:`repro.harness.sweeps.run_sweep`.
 
     ``jobs=None`` or ``jobs<=1`` runs points serially in-process;
@@ -128,14 +139,21 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
     :class:`~repro.network.faults.FaultPlan` for that point (or None
     for a perfectly reliable fabric), so fault sweeps reuse this exact
     engine — including the cache and process pool.
+
+    ``sanitize=True`` runs every point under simsan and bypasses the
+    cache in both directions (no gets, no puts): cached entries carry no
+    sanitizer report, and sanitized results must not shadow clean ones.
     """
     params = params if params is not None else LogGPParams.berkeley_now()
+    if sanitize:
+        cache = None
     tasks = [
         PointTask(app=app, n_nodes=n_nodes, value=value,
                   knobs=knob_for(value), params=params, seed=seed,
                   run_limit_us=run_limit_us,
                   livelock_limit=livelock_limit, window=window,
-                  faults=fault_for(value) if fault_for is not None else None)
+                  faults=fault_for(value) if fault_for is not None else None,
+                  sanitize=sanitize)
         for value in values
     ]
     points: List[Optional[SweepPoint]] = [None] * len(tasks)

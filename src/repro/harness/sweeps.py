@@ -21,7 +21,8 @@ from repro.cluster.machine import RunResult
 from repro.network.faults import DelaySpike, FaultPlan
 from repro.network.loggp import LogGPParams
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep", "overhead_sweep",
+__all__ = ["SweepPoint", "SweepResult", "FAILURE_CATEGORIES",
+           "run_sweep", "overhead_sweep",
            "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
            "fault_sweep", "spike_decay_sweep", "NO_SPIKE",
            "PAPER_OVERHEADS", "PAPER_GAPS", "PAPER_LATENCIES",
@@ -38,6 +39,12 @@ PAPER_BANDWIDTHS = (38.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.5, 3.0, 1.0)
 FAULT_DROP_RATES = (0.0, 0.001, 0.005, 0.01, 0.02, 0.05)
 
 
+#: The failure categories :func:`~repro.harness.parallel.execute_point`
+#: can produce, i.e. the prefixes of ``SweepPoint.failure``.
+FAILURE_CATEGORIES = frozenset(
+    {"deadlock", "livelock", "budget exceeded", "fault"})
+
+
 @dataclass
 class SweepPoint:
     """One configuration of a sweep."""
@@ -45,7 +52,8 @@ class SweepPoint:
     #: The dialed parameter's absolute value (µs, or MB/s for bulk).
     value: float
     knobs: TuningKnobs
-    #: None when the run did not complete (livelock / budget).
+    #: None when the run did not complete (deadlock / livelock / budget
+    #: / fault).
     result: Optional[RunResult] = None
     failure: Optional[str] = None
 
@@ -56,6 +64,20 @@ class SweepPoint:
     @property
     def runtime_us(self) -> Optional[float]:
         return self.result.runtime_us if self.result else None
+
+    @property
+    def failure_category(self) -> Optional[str]:
+        """The taxonomy bucket of :attr:`failure`.
+
+        One of :data:`FAILURE_CATEGORIES` (``deadlock`` / ``livelock``
+        / ``budget exceeded`` / ``fault``), ``"error"`` for an
+        unrecognised failure string, or ``None`` when the point
+        completed.
+        """
+        if self.failure is None:
+            return None
+        head = self.failure.split(":", 1)[0].strip()
+        return head if head in FAILURE_CATEGORIES else "error"
 
 
 @dataclass
@@ -100,6 +122,10 @@ class SweepResult:
         does not raise here: report generation over a whole suite must
         not crash because one sweep's first point livelocked, so every
         point's slowdown is simply ``"N/A"`` in that case.
+
+        The ``failure`` column carries the point's
+        :attr:`~SweepPoint.failure_category` (empty string for
+        completed points), so N/A cells are distinguishable in reports.
         """
         base = self.baseline.runtime_us
         rows = []
@@ -113,6 +139,7 @@ class SweepResult:
                                if point.completed else "N/A"),
                 "slowdown": (round(slowdown, 2)
                              if slowdown is not None else "N/A"),
+                "failure": point.failure_category or "",
             })
         return rows
 
@@ -128,8 +155,8 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
               jobs: Optional[int] = None,
               cache: Optional["RunCache"] = None,  # noqa: F821
               fault_for: Optional[
-                  Callable[[float], Optional[FaultPlan]]] = None
-              ) -> SweepResult:
+                  Callable[[float], Optional[FaultPlan]]] = None,
+              sanitize: bool = False) -> SweepResult:
     """Run ``app`` at each dialed value; first value is the baseline.
 
     ``jobs`` > 1 fans the points across a process pool (bit-identical
@@ -137,6 +164,8 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
     optional :class:`~repro.harness.runcache.RunCache` consulted before
     simulating and updated after.  ``fault_for`` optionally maps each
     value to a :class:`~repro.network.faults.FaultPlan` for that point.
+    ``sanitize=True`` runs every point under simsan (and bypasses the
+    cache — sanitized results are never cached or served from cache).
     """
     # Imported lazily: parallel imports this module for SweepPoint/Result.
     from repro.harness.parallel import run_sweep_points
@@ -144,7 +173,8 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
                             params=params, seed=seed,
                             run_limit_us=run_limit_us,
                             livelock_limit=livelock_limit, window=window,
-                            jobs=jobs, cache=cache, fault_for=fault_for)
+                            jobs=jobs, cache=cache, fault_for=fault_for,
+                            sanitize=sanitize)
 
 
 def overhead_sweep(app: Application, n_nodes: int,

@@ -94,6 +94,11 @@ class Packet:
     #: across retransmissions so the receiver can suppress duplicates.
     #: ``None`` on the reliable-fabric fast path.
     seq: Optional[int] = None
+    #: Piggybacked vector-clock snapshot, attached by simsan at the
+    #: host-level send when ``sanitize=True``; stable across
+    #: retransmissions (the Packet object is reused).  ``None`` when the
+    #: sanitizer is off.
+    clock: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

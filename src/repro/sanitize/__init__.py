@@ -1,0 +1,15 @@
+"""simsan: a happens-before race & deadlock sanitizer for simulated runs.
+
+Opt in with ``Cluster(..., sanitize=True)`` or ``run_sweep(...,
+sanitize=True)``; run any suite app under it from the command line with
+``python -m repro.sanitize``.  See ARCHITECTURE.md section 11.
+"""
+
+from repro.sanitize.monitor import Sanitizer, call_site
+from repro.sanitize.reports import (AccessSite, DeadlockError,
+                                    DeadlockReport, RaceReport,
+                                    SanitizerReport, WaitEdge)
+
+__all__ = ["Sanitizer", "call_site", "AccessSite", "RaceReport",
+           "WaitEdge", "DeadlockReport", "DeadlockError",
+           "SanitizerReport"]

@@ -1,0 +1,150 @@
+"""``python -m repro.sanitize`` — run an app under the simsan sanitizer.
+
+Apps are named either by their suite name (``Radix``, ``Connect``, ...,
+matched against :func:`repro.apps.default_suite`) or as
+``path/to/file.py:ClassName`` for ad-hoc applications (the planted
+fixtures use this form).  Exit codes mirror simlint: 0 clean, 1 races
+or a deadlock, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.apps import SUITE_ORDER, default_suite
+from repro.cluster.machine import Cluster
+from repro.gas.runtime import LivelockError
+from repro.sanitize.reports import DeadlockError
+
+__all__ = ["main", "load_app"]
+
+
+def load_app(spec: str, scale: float = 1.0):
+    """Resolve an application named on the command line.
+
+    ``spec`` is a suite app name, or ``file.py:ClassName`` to load an
+    :class:`~repro.apps.base.Application` subclass from a file.
+    """
+    if ":" in spec:
+        path_text, class_name = spec.rsplit(":", 1)
+        path = Path(path_text)
+        if not path.is_file():
+            raise FileNotFoundError(f"no such file: {path}")
+        module_spec = importlib.util.spec_from_file_location(
+            f"_simsan_app_{path.stem}", path)
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+        try:
+            cls = getattr(module, class_name)
+        except AttributeError:
+            raise KeyError(
+                f"{path} defines no class {class_name!r}") from None
+        return cls()
+    for app in default_suite(scale):
+        if app.name == spec:
+            return app
+    known = ", ".join(SUITE_ORDER)
+    raise KeyError(f"unknown app {spec!r}; suite apps are: {known}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="simsan: happens-before race & deadlock sanitizer")
+    parser.add_argument("apps", nargs="*",
+                        help="suite app names (see --all) or "
+                        "path/to/app.py:ClassName specs")
+    parser.add_argument("--all", action="store_true",
+                        help="run the whole ten-app suite")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (default: 8)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="suite input scale (default: 1.0)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="run seed (default: 11)")
+    parser.add_argument("--run-limit-us", type=float, default=None,
+                        help="simulated-time budget per run")
+    parser.add_argument("--livelock-limit", type=int, default=200_000,
+                        help="failed-lock budget per rank")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    return parser
+
+
+def _sanitized_run(app, args: argparse.Namespace) -> dict:
+    """Run one app under the sanitizer; never raises for findings."""
+    cluster = Cluster(args.nodes, seed=args.seed,
+                      run_limit_us=args.run_limit_us,
+                      livelock_limit=args.livelock_limit,
+                      sanitize=True)
+    entry = {"app": app.name, "races": [], "deadlock": None,
+             "failure": None}
+    try:
+        result = cluster.run(app)
+    except DeadlockError as exc:
+        entry["deadlock"] = exc.report.to_dict()
+        entry["failure"] = str(exc)
+        return entry
+    except (LivelockError, TimeoutError) as exc:
+        entry["failure"] = f"{type(exc).__name__}: {exc}"
+        return entry
+    report = result.sanitizer
+    entry["races"] = [race.to_dict() for race in report.races]
+    entry["report"] = report.to_dict()
+    entry["runtime_us"] = result.runtime_us
+    return entry
+
+
+def _render_text(entries: List[dict]) -> str:
+    lines: List[str] = []
+    dirty = 0
+    for entry in entries:
+        findings = len(entry["races"]) \
+            + (1 if entry["deadlock"] is not None else 0)
+        if findings or entry["failure"]:
+            dirty += 1
+        for race in entry["races"]:
+            prior, access = race["prior"], race["access"]
+            lines.append(
+                f"{entry['app']}: race on {race['location']}: "
+                f"{prior['kind']} by rank {prior['rank']} at "
+                f"{prior['site']} is unordered with {access['kind']} by "
+                f"rank {access['rank']} at {access['site']} "
+                f"[x{race['occurrences']}]")
+        if entry["failure"]:
+            lines.append(f"{entry['app']}: {entry['failure']}")
+    lines.append(
+        f"simsan: {dirty} finding(s) across {len(entries)} app(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.all:
+        apps = default_suite(args.scale)
+    else:
+        if not args.apps:
+            parser.print_usage(sys.stderr)
+            print("simsan: name at least one app or pass --all",
+                  file=sys.stderr)
+            return 2
+        try:
+            apps = [load_app(spec, args.scale) for spec in args.apps]
+        except (KeyError, FileNotFoundError) as exc:
+            print(f"simsan: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    entries = [_sanitized_run(app, args) for app in apps]
+    dirty = any(entry["races"] or entry["deadlock"] is not None
+                or entry["failure"] for entry in entries)
+    if args.format == "json":
+        print(json.dumps({"version": 1, "apps": entries}, indent=2))
+    else:
+        print(_render_text(entries))
+    return 1 if dirty else 0

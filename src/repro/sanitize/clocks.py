@@ -1,0 +1,73 @@
+"""Per-rank vector clocks driven by message traffic.
+
+The happens-before relation of an SPMD run on this simulator is exactly
+the transitive closure of (a) program order within a rank and (b) every
+host-level Active Message delivery.  Barriers, collectives, lock
+grant/release chains and write acknowledgements are all *built from*
+those messages, so piggybacking a clock snapshot on each host-level
+send and joining at delivery captures the full relation with no
+special-casing per synchronisation primitive.
+
+The protocol (FastTrack-style, send-increment only):
+
+* each rank ``r`` keeps a clock ``C_r`` of length ``n_ranks``;
+* on every host-level send, ``r`` increments ``C_r[r]`` and attaches
+  ``snapshot = C_r`` to the packet (epochs are 1-based: ``C_r[q] == 0``
+  means "never heard from ``q``", distinct from "saw its first send");
+* on every host-level delivery, the receiver joins the attached
+  snapshot element-wise into its own clock.
+
+A prior access by rank ``q`` at tick ``t`` (``t = C_q[q]`` when it was
+issued, i.e. the number of sends ``q`` had made) happens-before rank
+``r``'s current point iff ``C_r[q] > t``: the snapshot attached to
+``q``'s next send carries ``t + 1``, so any message chain from after
+the access carries the evidence — and nothing sent before it does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["ClockSet"]
+
+
+class ClockSet:
+    """The vector clocks of every rank in one run."""
+
+    __slots__ = ("n_ranks", "_clocks")
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self._clocks: List[List[int]] = [
+            [0] * n_ranks for _rank in range(n_ranks)]
+
+    def tick(self, rank: int) -> Tuple[int, ...]:
+        """Advance ``rank``'s own component for an outgoing message,
+        then snapshot (so receivers of this send happen-after every
+        access ``rank`` made before it)."""
+        clock = self._clocks[rank]
+        clock[rank] += 1
+        return tuple(clock)
+
+    def join(self, rank: int, snapshot: Sequence[int]) -> None:
+        """Element-wise max of ``rank``'s clock with a received
+        snapshot (the happens-before edge of a message delivery)."""
+        clock = self._clocks[rank]
+        for peer, tick in enumerate(snapshot):
+            if tick > clock[peer]:
+                clock[peer] = tick
+
+    def clock_of(self, rank: int) -> List[int]:
+        """``rank``'s live clock (read-only by convention)."""
+        return self._clocks[rank]
+
+    def tick_of(self, rank: int) -> int:
+        """``rank``'s own current component (its access epoch)."""
+        return self._clocks[rank][rank]
+
+    def ordered(self, observer: int, owner: int, tick: int) -> bool:
+        """Whether a prior access by ``owner`` at ``tick`` happens-
+        before ``observer``'s current program point."""
+        return self._clocks[observer][owner] > tick

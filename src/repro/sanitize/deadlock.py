@@ -1,0 +1,151 @@
+"""Wait-for-graph deadlock diagnosis.
+
+Two entry points, both invoked by :meth:`Cluster.run` when a sanitized
+run stops making progress:
+
+* :func:`diagnose_stall` -- the event heap drained while rank drivers
+  are still alive (:class:`~repro.sim.engine.StalledError`).  Build the
+  wait-for graph from the sanitizer's structured wait annotations plus
+  any lock pursuits and search it for a cycle; report the cycle, or the
+  stuck frontier when there is none (e.g. a rank waiting on a peer that
+  already exited).
+* :func:`lock_cycle` -- the livelock budget tripped
+  (:class:`~repro.gas.runtime.LivelockError`).  Lock acquisition spins,
+  so the heap never drains; the only wait-for edges available are lock
+  pursuits (rank -> current holder), which form a functional graph that
+  is walked for a cycle.  Returns ``None`` when the livelock is not a
+  lock cycle (genuine contention), in which case the original
+  LivelockError stands.
+
+Each rank contributes at most its *innermost* wait (top of the wait
+stack) plus its lock pursuit, so the graph has O(ranks) edges and the
+cycle search is a small DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sanitize.monitor import Sanitizer
+from repro.sanitize.reports import DeadlockReport, WaitEdge
+
+__all__ = ["diagnose_stall", "lock_cycle"]
+
+
+def _pursuit_edge(rank: int, lock: "DistributedLock",  # noqa: F821
+                  holder: int) -> WaitEdge:
+    return WaitEdge(
+        rank=rank, kind="lock", on=(holder,),
+        detail=f"lock {lock.lock_id}@{lock.home_rank} held by "
+               f"rank {holder}")
+
+
+def lock_cycle(san: Sanitizer) -> Optional[DeadlockReport]:
+    """Walk rank -> lock-holder pursuit edges for a cycle."""
+    edges: Dict[int, WaitEdge] = {}
+    succ: Dict[int, int] = {}
+    for rank, (lock, holder) in san.lock_pursuits().items():
+        if holder is None or holder == rank:
+            continue
+        succ[rank] = holder
+        edges[rank] = _pursuit_edge(rank, lock, holder)
+    for start in sorted(succ):
+        seen: List[int] = []
+        rank = start
+        while rank in succ and rank not in seen:
+            seen.append(rank)
+            rank = succ[rank]
+        if rank in seen:
+            cycle = seen[seen.index(rank):]
+            return DeadlockReport(
+                kind="cycle",
+                edges=tuple(edges[member] for member in cycle),
+                time_us=san.sim.now)
+    return None
+
+
+def _candidate_edges(san: Optional[Sanitizer],
+                     drivers: Sequence["Process"],  # noqa: F821
+                     alive: List[int]) -> Dict[int, List[WaitEdge]]:
+    """Per blocked rank, the wait-for edges it might be stuck behind."""
+    pursuits = san.lock_pursuits() if san is not None else {}
+    out: Dict[int, List[WaitEdge]] = {}
+    for rank in alive:
+        candidates: List[WaitEdge] = []
+        if san is not None:
+            top = san.current_wait(rank)
+            if top is not None:
+                candidates.append(top)
+            if rank in pursuits:
+                lock, holder = pursuits[rank]
+                if holder is not None and holder != rank:
+                    candidates.append(_pursuit_edge(rank, lock, holder))
+        if not candidates:
+            event = drivers[rank].waiting_on
+            name = repr(event) if event is not None else "nothing runnable"
+            candidates.append(WaitEdge(rank=rank, kind="unknown", on=(),
+                                       detail=f"blocked on {name}"))
+        out[rank] = candidates
+    return out
+
+
+def _find_cycle(candidates: Dict[int, List[WaitEdge]]
+                ) -> Optional[List[WaitEdge]]:
+    """DFS over the multigraph of candidate edges; first cycle wins.
+
+    Edges whose target already exited (not in ``candidates``) cannot
+    close a cycle and are skipped; they still show in the frontier.
+    """
+    blocked = set(candidates)
+    color: Dict[int, int] = {}  # absent=white, 1=on current path, 2=done
+
+    def visit(rank: int,
+              trail: List[Tuple[int, WaitEdge]]
+              ) -> Optional[List[WaitEdge]]:
+        color[rank] = 1
+        for edge in candidates[rank]:
+            for peer in edge.on:
+                if peer not in blocked:
+                    continue
+                if color.get(peer) == 1:
+                    # peer is an ancestor on the current path (or this
+                    # very rank): the cycle is every trail edge from
+                    # peer's departure onward, closed by this edge.
+                    start = next((i for i, (step, _e) in enumerate(trail)
+                                  if step == peer), len(trail))
+                    cycle = [step_edge for _r, step_edge in trail[start:]]
+                    cycle.append(edge)
+                    return cycle
+                if color.get(peer) is None:
+                    trail.append((rank, edge))
+                    found = visit(peer, trail)
+                    trail.pop()
+                    if found is not None:
+                        return found
+        color[rank] = 2
+        return None
+
+    for rank in sorted(candidates):
+        if color.get(rank) is None:
+            found = visit(rank, [])
+            if found is not None:
+                return found
+    return None
+
+
+def diagnose_stall(san: Optional[Sanitizer],
+                   drivers: Sequence["Process"],  # noqa: F821
+                   now: float) -> DeadlockReport:
+    """Explain a drained event heap with live, blocked rank drivers."""
+    alive = [rank for rank, drv in enumerate(drivers) if drv.is_alive]
+    if not alive:
+        # Defensive: StalledError with every driver finished should be
+        # impossible (the stop event would have fired).
+        return DeadlockReport(kind="frontier", edges=(), time_us=now)
+    candidates = _candidate_edges(san, drivers, alive)
+    cycle = _find_cycle(candidates)
+    if cycle is not None:
+        return DeadlockReport(kind="cycle", edges=tuple(cycle),
+                              time_us=now)
+    frontier = tuple(candidates[rank][0] for rank in sorted(candidates))
+    return DeadlockReport(kind="frontier", edges=frontier, time_us=now)

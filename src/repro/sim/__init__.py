@@ -14,13 +14,14 @@ Public surface:
 * :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, StalledError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Resource, Store
 
 __all__ = [
     "Simulator",
+    "StalledError",
     "Event",
     "Timeout",
     "AnyOf",

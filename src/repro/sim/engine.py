@@ -21,7 +21,19 @@ from typing import Any, Generator, List, Optional, Tuple
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "StalledError"]
+
+
+class StalledError(TimeoutError):
+    """The event heap drained while a ``stop_event`` was still pending.
+
+    Distinct from the plain :class:`TimeoutError` raised when the
+    ``until`` horizon elapses with events still queued: a drained heap
+    means no future event can ever trigger the stop condition -- the
+    workload is deadlocked, not merely slow.  Subclasses
+    :class:`TimeoutError` so existing "did not complete" handling keeps
+    working.
+    """
 
 #: Default priority for scheduled events; lower runs first at equal times.
 NORMAL = 1
@@ -203,6 +215,10 @@ class Simulator:
         finally:
             self._event_count = count
         if stop_event is not None:
+            if not heap:
+                raise StalledError(
+                    f"event heap drained at t={self._now} with "
+                    f"{stop_event!r} still pending")
             raise TimeoutError(
                 f"simulation ended at t={self._now} before "
                 f"{stop_event!r} triggered")

@@ -54,6 +54,15 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently suspended on, if any.
+
+        Diagnostic surface for simsan's stall reports: a live process
+        with a never-triggering target here is a blocked rank.
+        """
+        return self._waiting_on
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 

@@ -1,0 +1,11 @@
+"""Planted-defect fixture applications for the simsan sanitizer tests.
+
+Each app contains exactly one known concurrency defect:
+
+* :class:`~tests.fixtures.sanitize.racy_put.RacyPut` — a remote ``put``
+  racing a local ``read`` of the same elements (no sync between them).
+* :class:`~tests.fixtures.sanitize.lock_cycle.LockCycle` — the classic
+  two-lock ordering deadlock, surfacing as a livelock without simsan.
+* :class:`~tests.fixtures.sanitize.unbalanced_barrier.UnbalancedBarrier`
+  — one rank skips a barrier, wedging everyone else (drained heap).
+"""

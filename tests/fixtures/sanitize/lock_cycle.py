@@ -1,0 +1,41 @@
+"""The classic two-lock ordering deadlock, planted for simsan.
+
+Rank 0 acquires lock A then lock B; rank 1 acquires lock B then lock A,
+with a barrier ensuring both hold their first lock before requesting
+the second.  Each then spins on a lock held by the other forever: the
+livelock budget trips, and simsan's lock-pursuit graph shows the cycle
+``rank 0 -> rank 1 -> rank 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application
+from repro.gas.runtime import Proc
+from repro.gas.sync import DistributedLock
+
+LOCK_A = DistributedLock(home_rank=0, lock_id=1)
+LOCK_B = DistributedLock(home_rank=1, lock_id=2)
+
+
+class LockCycle(Application):
+    """Two ranks acquiring two locks in opposite orders."""
+
+    name = "LockCycle"
+
+    def configure(self, n_nodes: int, seed: int) -> None:
+        if n_nodes != 2:
+            raise ValueError(
+                f"{self.name} is a two-rank fixture, got {n_nodes} nodes")
+
+    def run_rank(self, proc: Proc) -> Generator:
+        first, second = (LOCK_A, LOCK_B) if proc.rank == 0 \
+            else (LOCK_B, LOCK_A)
+        yield from proc.lock(first)
+        # Both ranks hold their first lock before either asks for its
+        # second -- the deadlock is now inevitable.
+        yield from proc.barrier()
+        yield from proc.lock(second)  # never granted
+        yield from proc.unlock(second)
+        yield from proc.unlock(first)

@@ -1,0 +1,32 @@
+"""A racy twin of the sample-sort communication pattern.
+
+Every rank puts its id into its right neighbour's slot and immediately
+reads its *own* slot — with no ``sync()``/barrier between the two, so
+the remote put by rank ``r-1`` races the local read by rank ``r`` on
+every slot.  Exactly one deduplicated race (put vs read, one site pair)
+must be reported, with one occurrence per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application
+from repro.gas.runtime import Proc
+
+
+class RacyPut(Application):
+    """One planted put/read race on a shared slot array."""
+
+    name = "RacyPut"
+
+    def run_rank(self, proc: Proc) -> Generator:
+        slots = proc.allocate(proc.n_ranks, name="slots")
+        right = (proc.rank + 1) % proc.n_ranks
+        yield from proc.write(slots, right, proc.rank)  # planted race: put
+        value = yield from proc.read(slots, proc.rank)  # planted race: read
+        proc.state["observed"] = value
+        # Proper closure *after* the damage is done, so the run itself
+        # completes and the sanitizer report rides out on the result.
+        yield from proc.sync()
+        yield from proc.barrier()

@@ -1,0 +1,27 @@
+"""A mismatched-collectives deadlock, planted for simsan.
+
+Every rank except 0 enters a barrier that rank 0 skips.  The barrier
+epochs desynchronise: the skipping rank's *exit* barrier satisfies the
+others' planted one, after which rank 0 finishes while everyone else
+waits in an exit barrier no one will ever complete.  The event heap
+drains and simsan reports the stuck frontier (no wait-for cycle — the
+awaited rank exited).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application
+from repro.gas.runtime import Proc
+
+
+class UnbalancedBarrier(Application):
+    """All ranks but 0 wait at a barrier rank 0 never joins."""
+
+    name = "UnbalancedBarrier"
+
+    def run_rank(self, proc: Proc) -> Generator:
+        if proc.rank != 0:
+            yield from proc.barrier()  # planted: rank 0 skips this
+        yield from proc.compute(1.0)

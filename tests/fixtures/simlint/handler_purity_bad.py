@@ -1,0 +1,18 @@
+"""Fixture: Active Message handlers that block at interrupt level."""
+
+
+def _forwarding_handler(am, packet):
+    value = yield from am.rpc(0, "fetch", packet.payload)  # impure (line 5)
+    yield from am.reply(value)
+
+
+def _collective_handler(am, packet):
+    yield from am.host.barrier()                          # impure (line 10)
+    yield from am.reply(None)
+
+
+class BadHandlers:
+    def register_handlers(self, table):
+        table.register("forward", _forwarding_handler)
+        table.register("collect", _collective_handler)
+        table.register("drainer", lambda am, pkt: am.host.poll())  # (18)

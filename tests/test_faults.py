@@ -143,7 +143,8 @@ def test_sweep_surfaces_retry_exhausted_as_na_point():
                         base_plan=plan, seed=0)
     point = sweep.points[0]
     assert not point.completed
-    assert "network fault" in point.failure
+    assert point.failure.startswith("fault:")
+    assert point.failure_category == "fault"
     # Satellite: a failed baseline must not crash row generation...
     rows = sweep.as_rows()
     assert all(row["slowdown"] == "N/A" for row in rows)
@@ -159,7 +160,8 @@ def test_as_rows_failed_baseline_with_completed_points():
     good = Cluster(n_nodes=2, seed=0).run(tiny_radix())
     sweep = SweepResult(app_name="Radix", n_nodes=2, parameter="drop_rate")
     sweep.points = [
-        SweepPoint(value=0.0, knobs=TuningKnobs(), failure="network fault"),
+        SweepPoint(value=0.0, knobs=TuningKnobs(),
+                   failure="fault: dead link"),
         SweepPoint(value=0.01, knobs=TuningKnobs(), result=good),
     ]
     rows = sweep.as_rows()

@@ -93,6 +93,16 @@ def test_spmd_good_fixture_is_clean():
     assert findings_for("spmd_good.py") == []
 
 
+def test_handler_purity_bad_fixture_golden_findings():
+    findings = findings_for("handler_purity_bad.py")
+    assert lines_by_rule(findings, "handler-purity") == [5, 10, 18]
+    assert len(findings) == 3
+
+
+def test_handler_purity_good_fixture_is_clean():
+    assert findings_for("handler_purity_good.py") == []
+
+
 # -- hygiene pack -----------------------------------------------------------
 
 def test_hygiene_bad_fixture_golden_findings():
@@ -122,7 +132,8 @@ def test_module_mutable_state_only_fires_under_apps():
 def test_every_rule_has_at_least_one_failing_fixture():
     """Acceptance: each shipped rule detects something in the fixtures."""
     all_findings = []
-    for name in ("determinism_bad.py", "spmd_bad.py", "hygiene_bad.py",
+    for name in ("determinism_bad.py", "spmd_bad.py",
+                 "handler_purity_bad.py", "hygiene_bad.py",
                  "apps/stateful_module.py"):
         all_findings.extend(findings_for(name))
     fired = {f.rule for f in all_findings}
@@ -131,7 +142,9 @@ def test_every_rule_has_at_least_one_failing_fixture():
 
 
 @pytest.mark.parametrize("name", ["determinism_good.py",
-                                  "spmd_good.py", "hygiene_good.py",
+                                  "spmd_good.py",
+                                  "handler_purity_good.py",
+                                  "hygiene_good.py",
                                   "suppressed.py"])
 def test_clean_fixtures_produce_no_findings(name):
     assert findings_for(name) == []
