@@ -1,0 +1,78 @@
+"""Table 8: LogGP-model-driven collective algorithm selection.
+
+Acceptance shape: across a (P, size, machine-scale) validation grid,
+the closed-form model's pick must be the measured-cheapest algorithm —
+or within 10% of it — for at least 80% of cells.  The grid dials bulk
+bandwidth as the machine-scale axis because that is where the real
+algorithm crossovers live (short packets cost o_s + L + o_r regardless
+of declared size on this NIC model).
+"""
+
+import itertools
+
+from benchmarks.conftest import run_once
+from repro.am.tuning import TuningKnobs
+from repro.cluster.machine import Cluster
+from repro.coll.algorithms import eligible_algorithms
+from repro.coll.bench import CollectiveBench
+from repro.coll.model import estimate_cost
+from repro.harness.experiments import table8_coll_tuner
+from repro.network.loggp import LogGPParams
+
+PRIMITIVES = ("broadcast", "allreduce", "allgather", "alltoall")
+RANK_COUNTS = (4, 8, 16)
+SIZES = (32, 4096, 65536)
+#: Machine-scale axis: baseline wire vs a 10x slower bulk path.
+BANDWIDTHS = (38.0, 4.0)
+
+
+def _grid_agreement():
+    """Fraction of validation cells where the model pick is within 10%
+    of the measured-cheapest algorithm, plus the miss list."""
+    params = LogGPParams.berkeley_now()
+    total, within, misses = 0, 0, []
+    for primitive, n_nodes, size, mb_s in itertools.product(
+            PRIMITIVES, RANK_COUNTS, SIZES, BANDWIDTHS):
+        knobs = TuningKnobs.bulk_bandwidth(mb_s, params)
+        bulk = size > 64
+        measured = {}
+        for algo in eligible_algorithms(primitive, elementwise=True,
+                                        dense=True, uniform=True):
+            bench = CollectiveBench(primitive, algo=algo, size=size,
+                                    bulk=bulk, iterations=2)
+            result = Cluster(n_nodes, knobs=knobs, seed=9).run(bench)
+            measured[algo] = result.runtime_us
+        best_time = min(measured.values())
+        model_pick = min(
+            (estimate_cost(primitive, algo, n_nodes, size, params,
+                           knobs=knobs, bulk=bulk), algo)
+            for algo in measured)[1]
+        total += 1
+        if measured[model_pick] <= 1.10 * best_time:
+            within += 1
+        else:
+            misses.append((primitive, n_nodes, size, mb_s, model_pick,
+                           round(measured[model_pick] / best_time, 2)))
+    return within / total, misses
+
+
+def test_model_picks_measured_cheapest_on_validation_grid(benchmark):
+    agreement, misses = run_once(benchmark, _grid_agreement)
+    print(f"\nmodel-vs-measured agreement: {agreement:.0%}"
+          f" (misses: {misses})")
+    assert agreement >= 0.80, misses
+
+
+def test_table8(benchmark):
+    table = run_once(benchmark, lambda: table8_coll_tuner(
+        n_nodes=16, sizes=(32, 1024, 16384, 65536), iterations=2))
+    print()
+    print(table.render())
+    ok = [r for r in table.rows() if r["within_10pct"] == "ok"]
+    assert len(ok) / len(table.rows()) >= 0.80
+    # The size axis must actually flip at least one primitive's pick:
+    # a tuner that never switches algorithms is not tuning.
+    picks = {}
+    for row in table.rows():
+        picks.setdefault(row["primitive"], set()).add(row["model_pick"])
+    assert any(len(algos) > 1 for algos in picks.values())

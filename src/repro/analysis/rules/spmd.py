@@ -26,7 +26,8 @@ __all__ = ["UnyieldedBlockingCallRule", "RankDependentCollectiveRule",
 #: raw simulator events, ``yield``).
 BLOCKING_PRIMITIVES = frozenset({
     "compute", "poll", "timeout", "barrier", "broadcast", "reduce",
-    "allreduce", "read", "write", "sync", "bulk_get", "bulk_put",
+    "allreduce", "gather", "scatter", "allgather", "alltoall",
+    "read", "write", "sync", "bulk_get", "bulk_put",
     "lock", "unlock", "rpc", "send_request", "bulk_rpc", "bulk_store",
     "bulk_oneway", "drain", "wait_until", "reply", "reply_bulk",
 })
@@ -37,8 +38,10 @@ BLOCKING_PRIMITIVES = frozenset({
 _RUNTIME_BASES = frozenset({"proc", "am", "self"})
 _RUNTIME_SEGMENTS = frozenset({"am", "sim"})
 
-#: Collective operations every rank must reach identically.
-COLLECTIVES = frozenset({"barrier", "broadcast", "reduce", "allreduce"})
+#: Collective operations every rank must reach identically (the
+#: ``repro.coll`` entry points mirrored as ``Proc`` methods).
+COLLECTIVES = frozenset({"barrier", "broadcast", "reduce", "allreduce",
+                         "gather", "scatter", "allgather", "alltoall"})
 
 #: Entry points of the application contract; checked even when the
 #: author forgot every ``yield`` (the degenerate form of the bug).
@@ -220,6 +223,7 @@ class HandlerArityRule(Rule):
 #: ``compute`` and ``timeout`` stay allowed.
 HANDLER_BANNED = frozenset({
     "lock", "unlock", "barrier", "broadcast", "reduce", "allreduce",
+    "gather", "scatter", "allgather", "alltoall",
     "rpc", "send_request", "send_oneway", "bulk_rpc", "bulk_store",
     "bulk_store_blocking", "bulk_oneway", "bulk_get", "bulk_put",
     "read", "write", "sync", "drain", "wait_until", "poll",

@@ -2,21 +2,20 @@
 
 Identical to :class:`~repro.apps.radix.RadixSort` except for the
 distribution phase: after the global histogram, each processor groups
-its keys by *destination processor* and ships each group as a single
-bulk message of (position, key) pairs; the destination's handler
-scatters them into its local block.  Per pass, each processor sends at
-most ``P - 1`` bulk messages instead of one short message per key
-(Section 4.1's "Radb").
+its keys by *destination processor* and ships the groups through one
+sparse bulk personalized all-to-all (``repro.coll``); each processor
+then scatters the pairs it received into its local block.  Per pass,
+each processor sends at most ``P - 1`` bulk messages instead of one
+short message per key (Section 4.1's "Radb").
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Generator, List
+from typing import Generator
 
 import numpy as np
 
-from repro.am.layer import HandlerTable
 from repro.apps.radix import RadixSort
 from repro.gas.runtime import Proc
 
@@ -39,10 +38,6 @@ class RadixBulk(RadixSort):
     @classmethod
     def scaled(cls, scale: float = 1.0) -> "RadixBulk":
         return cls(keys_per_proc=max(16, int(2048 * scale)))
-
-    def register_handlers(self, table: HandlerTable) -> None:
-        super().register_handlers(table)
-        table.register("radb_scatter", _scatter_handler)
 
     def _one_pass(self, proc: Proc, state: dict, src, dst,
                   pass_index: int) -> Generator:
@@ -76,26 +71,18 @@ class RadixBulk(RadixSort):
                 groups[owner].append((local_index, key))
         yield from proc.compute(proc.cost.keys(2 * len(local)))
 
-        completions = {"pending": 0}
-
-        def acked(_payload) -> None:
-            completions["pending"] -= 1
-
+        # Sparse bulk all-to-all: one message per destination that owns
+        # any of this rank's keys (its completion barrier replaces the
+        # explicit end-of-pass barrier the handler version needed).
+        outgoing = [None] * proc.n_ranks
+        wire_sizes = [0] * proc.n_ranks
         for owner in sorted(groups):
-            pairs = groups[owner]
-            completions["pending"] += 1
-            yield from proc.am.bulk_store(
-                owner, "radb_scatter",
-                (dst.array_id, pairs), PAIR_BYTES * len(pairs),
-                on_complete=acked)
-        yield from proc.am.wait_until(
-            lambda: completions["pending"] == 0)
-        yield from proc.barrier()
-
-
-def _scatter_handler(am, packet) -> None:
-    """Scatter a bulk batch of (local_index, key) pairs into storage."""
-    array_id, pairs = packet.payload
-    storage = am.host._arrays[array_id]
-    for local_index, key in pairs:
-        storage[local_index] = key
+            outgoing[owner] = groups[owner]
+            wire_sizes[owner] = PAIR_BYTES * len(groups[owner])
+        incoming = yield from proc.alltoall(outgoing, sizes=wire_sizes,
+                                            bulk=True)
+        for sender, pairs in enumerate(incoming):
+            if sender == proc.rank or pairs is None:
+                continue
+            for local_index, key in pairs:
+                dst_local[local_index] = key

@@ -70,7 +70,6 @@ class SampleSort(Application):
         self._input = (top * uniform ** self.skew).astype(np.int64)
 
     def register_handlers(self, table: HandlerTable) -> None:
-        table.register("sample_sample", _sample_handler)
         table.register("sample_key", _key_handler)
 
     def setup_rank(self, proc: Proc) -> Generator:
@@ -89,23 +88,19 @@ class SampleSort(Application):
         state = proc.state["sample"]
         keys = state["keys"]
 
-        # Phase 0: splitter selection.  Every rank sends `oversample`
-        # local samples to rank 0; rank 0 sorts the sample set, picks
-        # p - 1 splitters, and broadcasts them.
+        # Phase 0: splitter selection.  Every rank contributes
+        # `oversample` local samples to a gather at rank 0; rank 0
+        # sorts the sample set, picks p - 1 splitters, and broadcasts
+        # them (both collectives via repro.coll).
         samples = [int(keys[proc.rng.randrange(len(keys))])
                    for _ in range(self.oversample)]
         yield from proc.compute(proc.cost.ops(4 * self.oversample))
-        if proc.rank == 0:
-            state["samples"].extend(samples)
-        else:
-            yield from proc.am.send_request(
-                0, "sample_sample", samples,
-                size=max(32, 4 * self.oversample))
+        per_rank = yield from proc.gather(
+            samples, root=0, size=max(32, 4 * self.oversample))
         splitters = None
         if proc.rank == 0:
-            expected = proc.n_ranks * self.oversample
-            yield from proc.am.wait_until(
-                lambda: len(state["samples"]) >= expected)
+            state["samples"] = [value for contribution in per_rank
+                                for value in contribution]
             pool = sorted(state["samples"])
             stride = len(pool) // proc.n_ranks
             splitters = [pool[stride * (i + 1)]
@@ -148,11 +143,6 @@ class SampleSort(Application):
         sizes = [len(p.state["sample"]["received"]) for p in procs]
         return {"sorted": merged,
                 "bucket_sizes": sizes}
-
-
-def _sample_handler(am, packet) -> None:
-    """Collect splitter samples at rank 0."""
-    am.host.state["sample"]["samples"].extend(packet.payload)
 
 
 def _key_handler(am, packet) -> None:

@@ -154,7 +154,8 @@ class Cluster:
                  run_limit_us: Optional[float] = None,
                  livelock_limit: int = 200_000,
                  faults: Optional["FaultPlan"] = None,  # noqa: F821
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 coll: Optional["CollConfig"] = None) -> None:  # noqa: F821
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         self.n_nodes = n_nodes
@@ -178,6 +179,13 @@ class Cluster:
                 "fault injection is only modelled on the flat fabric")
         self.faults = faults
         self.sanitize = sanitize
+        # A default (fixed, no overrides) tuning config is normalised to
+        # None — the legacy schedules — so such clusters are provably
+        # identical to ones that never mention tuning (and share cache
+        # entries, mirroring the null-fault-plan rule).
+        if coll is not None and coll.is_default:
+            coll = None
+        self.coll = coll
 
     def with_knobs(self, knobs: TuningKnobs) -> "Cluster":
         """A cluster identical to this one but with different dials."""
@@ -189,7 +197,8 @@ class Cluster:
                        run_limit_us=self.run_limit_us,
                        livelock_limit=self.livelock_limit,
                        faults=self.faults,
-                       sanitize=self.sanitize)
+                       sanitize=self.sanitize,
+                       coll=self.coll)
 
     # -- running applications -------------------------------------------------
     def run(self, app: "Application",
@@ -227,6 +236,11 @@ class Cluster:
             from repro.sanitize.monitor import Sanitizer
             sanitizer = Sanitizer(self.n_nodes, sim)
 
+        coll_tuner = None
+        if self.coll is not None:
+            from repro.coll.tuner import tuner_from_config
+            coll_tuner = tuner_from_config(self.coll)
+
         procs: List[Proc] = []
         for node_id in range(self.n_nodes):
             node = Node(sim, node_id, self.cost,
@@ -239,7 +253,7 @@ class Cluster:
             proc = Proc(sim, node_id, self.n_nodes, node, am, stats=stats,
                         seed=self.seed,
                         livelock_limit=self.livelock_limit,
-                        sanitizer=sanitizer)
+                        sanitizer=sanitizer, coll_tuner=coll_tuner)
             am.host = proc
             procs.append(proc)
 

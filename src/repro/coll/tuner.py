@@ -1,0 +1,220 @@
+"""Algorithm selection policies and the measured decision table.
+
+Three policies, mirroring Barchet-Estefanel & Mounie's tuning ladder:
+
+* ``fixed`` — always the registry default (or an explicit per-primitive
+  override).  The all-defaults fixed policy reproduces the legacy
+  ``gas.collectives`` machine bit for bit.
+* ``model`` — the :mod:`repro.coll.model` LogGP estimate picks the
+  predicted-cheapest eligible algorithm per call, from the machine's
+  live parameters and dials.  No measurement needed.
+* ``measured`` — a decision table built by :func:`build_decision_table`
+  from an actual calibration sweep (one microbenchmark run per cell,
+  persisted through the ordinary :class:`~repro.harness.runcache.
+  RunCache`), then matched by nearest (P, size) cell at call time.
+
+Every choice is a pure function of SPMD-identical inputs (primitive,
+declared size, P, machine parameters), so all ranks always agree on the
+schedule — the tuner can never cause a rank-divergent collective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.am.tuning import TuningKnobs
+from repro.coll.algorithms import (DEFAULT_ALGORITHMS, PRIMITIVES,
+                                   algorithms_for)
+from repro.coll.model import estimate_cost
+from repro.network.loggp import LogGPParams
+
+__all__ = ["CollConfig", "FixedPolicy", "ModelPolicy", "MeasuredPolicy",
+           "tuner_from_config", "build_decision_table",
+           "CALIBRATION_SIZES"]
+
+#: Default declared-size grid (bytes) of the calibration sweep.
+CALIBRATION_SIZES = (32, 1024, 16384, 65536)
+
+
+@dataclass(frozen=True)
+class CollConfig:
+    """Picklable description of a cluster's collective tuning.
+
+    ``choices`` are per-primitive fixed overrides, e.g.
+    ``(("broadcast", "chain"),)``.  ``table`` is a measured decision
+    table: ``(primitive, n_ranks, nbytes, bulk, algo)`` cells produced
+    by :func:`build_decision_table`.
+    """
+
+    policy: str = "fixed"  # "fixed" | "model" | "measured"
+    choices: Tuple[Tuple[str, str], ...] = ()
+    table: Tuple[Tuple[str, int, int, bool, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("fixed", "model", "measured"):
+            raise ValueError(f"unknown tuning policy {self.policy!r}")
+        for primitive, algo in self.choices:
+            if algo not in algorithms_for(primitive):
+                raise ValueError(
+                    f"unknown {primitive} algorithm {algo!r}")
+        if self.policy == "measured" and not self.table:
+            raise ValueError(
+                "measured policy needs a decision table; build one "
+                "with repro.coll.tuner.build_decision_table")
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this config is behaviourally the legacy machine."""
+        return self.policy == "fixed" and not self.choices
+
+
+class FixedPolicy:
+    """Registry defaults, optionally overridden per primitive."""
+
+    name = "fixed"
+
+    def __init__(self,
+                 choices: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self._choices: Dict[str, str] = dict(choices)
+
+    def choose(self, primitive: str, candidates: Sequence[str],
+               n_ranks: int, nbytes: float, params: LogGPParams,
+               knobs: TuningKnobs, bulk: bool = False) -> str:
+        pick = self._choices.get(primitive,
+                                 DEFAULT_ALGORITHMS[primitive])
+        if pick in candidates:
+            return pick
+        # The fixed pick is ineligible for this call (e.g. a bruck
+        # override on a sparse alltoall): fall back to the default,
+        # then to the first eligible candidate.
+        fallback = DEFAULT_ALGORITHMS[primitive]
+        return fallback if fallback in candidates else candidates[0]
+
+
+class ModelPolicy:
+    """Predicted-cheapest eligible algorithm per call site."""
+
+    name = "model"
+
+    def choose(self, primitive: str, candidates: Sequence[str],
+               n_ranks: int, nbytes: float, params: LogGPParams,
+               knobs: TuningKnobs, bulk: bool = False) -> str:
+        best = min(
+            (estimate_cost(primitive, algo, n_ranks, nbytes, params,
+                           knobs=knobs, bulk=bulk), algo)
+            for algo in candidates)
+        return best[1]
+
+
+class MeasuredPolicy:
+    """Nearest-cell lookup in a measured decision table."""
+
+    name = "measured"
+
+    def __init__(self,
+                 table: Tuple[Tuple[str, int, int, bool, str], ...]
+                 ) -> None:
+        self.table = tuple(table)
+
+    def choose(self, primitive: str, candidates: Sequence[str],
+               n_ranks: int, nbytes: float, params: LogGPParams,
+               knobs: TuningKnobs, bulk: bool = False) -> str:
+        best = None
+        for index, cell in enumerate(self.table):
+            cell_prim, cell_p, cell_bytes, cell_bulk, algo = cell
+            if cell_prim != primitive or algo not in candidates:
+                continue
+            distance = (
+                0 if cell_bulk == bulk else 1,
+                abs(math.log2(max(1, cell_p))
+                    - math.log2(max(1, n_ranks))),
+                abs(math.log2(1 + cell_bytes)
+                    - math.log2(1 + max(0.0, nbytes))),
+                index,
+            )
+            if best is None or distance < best[0]:
+                best = (distance, algo)
+        if best is None:
+            # No measurement covers this primitive: registry default.
+            pick = DEFAULT_ALGORITHMS[primitive]
+            return pick if pick in candidates else candidates[0]
+        return best[1]
+
+
+def tuner_from_config(config: Optional[CollConfig]):
+    """The policy object for a :class:`CollConfig` (None -> fixed)."""
+    if config is None or config.policy == "fixed":
+        return FixedPolicy(config.choices if config is not None else ())
+    if config.policy == "model":
+        return ModelPolicy()
+    return MeasuredPolicy(config.table)
+
+
+def build_decision_table(n_ranks: int,
+                         sizes: Sequence[int] = CALIBRATION_SIZES,
+                         primitives: Sequence[str] = PRIMITIVES,
+                         params: Optional[LogGPParams] = None,
+                         knobs: Optional[TuningKnobs] = None,
+                         seed: int = 0, iterations: int = 2,
+                         cache: Optional["RunCache"] = None  # noqa: F821
+                         ) -> Tuple[Tuple[str, int, int, bool, str], ...]:
+    """Measure every (primitive, size, algorithm) cell; keep winners.
+
+    Each cell is one :class:`~repro.coll.bench.CollectiveBench` run on a
+    fresh cluster with the given parameters, served from ``cache`` when
+    available (the calibration is a pure function of its configuration,
+    so a cached sweep is bit-stable).  Small sizes calibrate the
+    short-packet regime, larger ones the bulk regime (``bulk=True``
+    whenever the declared size exceeds one short packet).
+
+    Returns cells sorted by (primitive, size) — a deterministic, bit
+    -stable table for a fixed seed.
+    """
+    from repro.cluster.machine import Cluster
+    from repro.coll.bench import CollectiveBench
+    from repro.harness.runcache import run_key_spec
+
+    params = params if params is not None else LogGPParams.berkeley_now()
+    knobs = knobs if knobs is not None else TuningKnobs()
+    cells = []
+    for primitive in primitives:
+        for size in sizes:
+            bulk = size > 64
+            best = None
+            for algo in _calibratable(primitive, n_ranks):
+                bench = CollectiveBench(primitive=primitive, algo=algo,
+                                        size=size, bulk=bulk,
+                                        iterations=iterations)
+                runtime = _bench_runtime(Cluster, run_key_spec, bench,
+                                         n_ranks, params, knobs, seed,
+                                         cache)
+                if best is None or (runtime, algo) < best:
+                    best = (runtime, algo)
+            if best is not None:
+                cells.append((primitive, n_ranks, size, bulk, best[1]))
+    return tuple(sorted(cells))
+
+
+def _calibratable(primitive: str, n_ranks: int) -> Tuple[str, ...]:
+    """Algorithms the dense uniform calibration benchmark can drive."""
+    from repro.coll.algorithms import eligible_algorithms
+    return eligible_algorithms(primitive, elementwise=True, dense=True,
+                               uniform=True)
+
+
+def _bench_runtime(cluster_cls, key_spec_fn, bench, n_ranks, params,
+                   knobs, seed, cache) -> float:
+    """One calibration run's runtime, via the run cache when possible."""
+    spec = None
+    if cache is not None:
+        spec = key_spec_fn(bench, n_ranks, params, knobs, seed)
+        outcome = cache.get(spec)
+        if outcome is not None and outcome[0] is not None:
+            return outcome[0].runtime_us
+    result = cluster_cls(n_ranks, params=params, knobs=knobs,
+                         seed=seed).run(bench)
+    if cache is not None:
+        cache.put(spec, result=result)
+    return result.runtime_us

@@ -4,10 +4,19 @@
   sending one short message per round; all ranks leave within one round
   trip of each other.
 * broadcast / reduce -- binomial trees.
+* allreduce -- reduce to rank 0 followed by broadcast (2·ceil(log2 P)
+  message rounds; every rank gets the reduced value).
 
 Every collective instance is tagged with a per-type epoch counter that
 all ranks advance identically (SPMD order), so back-to-back collectives
 never confuse each other's messages.
+
+These are the *legacy* single-schedule primitives — the fixed-policy
+defaults of :mod:`repro.coll`, which registers them alongside
+alternative algorithms and re-exports them as ``legacy_barrier`` /
+``legacy_broadcast`` / ``legacy_reduce`` / ``legacy_allreduce``.  New
+call sites should go through :mod:`repro.coll` (or the ``Proc``
+methods, which dispatch there).
 """
 
 from __future__ import annotations

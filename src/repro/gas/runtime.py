@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.am.layer import AmLayer, HandlerTable
 from repro.cluster.node import Node
-from repro.gas import collectives, sync
+from repro.gas import sync
 from repro.gas.memory import GlobalArray
 from repro.gas.sync import DistributedLock
 from repro.instruments.stats import ClusterStats
@@ -41,7 +41,8 @@ class Proc:
                  am: AmLayer, stats: Optional[ClusterStats] = None,
                  seed: int = 0,
                  livelock_limit: int = DEFAULT_LIVELOCK_LIMIT,
-                 sanitizer: Optional["Sanitizer"] = None) -> None:  # noqa: F821
+                 sanitizer: Optional["Sanitizer"] = None,  # noqa: F821
+                 coll_tuner: Optional[Any] = None) -> None:
         self.sim = sim
         self.rank = rank
         self.n_ranks = n_ranks
@@ -50,6 +51,9 @@ class Proc:
         self.stats = stats
         self.livelock_limit = livelock_limit
         self.sanitizer = sanitizer
+        #: The cluster's collective tuning policy (``None`` -> the fixed
+        #: legacy schedules); consulted by ``repro.coll.api`` dispatch.
+        self.coll_tuner = coll_tuner
         #: Owner rank -> count of unacknowledged writes toward it; kept
         #: only under the sanitizer, for sync() wait-for annotations.
         self._pending_write_dsts: Dict[int, int] = {}
@@ -242,27 +246,80 @@ class Proc:
             on_complete=self._ack_tracker(owner))
 
     # -- collectives -----------------------------------------------------------
-    def barrier(self) -> Generator:
-        """Dissemination barrier over all ranks."""
-        yield from collectives.barrier(self)
+    # All collectives dispatch through ``repro.coll`` (imported lazily:
+    # the package's registry pulls the legacy ``gas.collectives``
+    # schedules back in).  With no tuner configured the dispatch picks
+    # exactly the legacy schedules, bit-identical to the pre-coll
+    # machine.
+
+    def barrier(self, algo: Optional[str] = None) -> Generator:
+        """Barrier over all ranks (default: dissemination)."""
+        from repro.coll import api
+        yield from api.barrier(self, algo=algo)
 
     def broadcast(self, value: Any = None, root: int = 0, size: int = 32,
-                  bulk: bool = False) -> Generator:
+                  bulk: bool = False,
+                  algo: Optional[str] = None) -> Generator:
         """Broadcast from ``root``; returns the value on every rank."""
-        result = yield from collectives.broadcast(
-            self, value, root=root, size=size, bulk=bulk)
+        from repro.coll import api
+        result = yield from api.broadcast(
+            self, value, root=root, size=size, bulk=bulk, algo=algo)
         return result
 
     def reduce(self, value: Any, op, root: int = 0,
-               size: int = 32) -> Generator:
+               size: int = 32, bulk: bool = False,
+               algo: Optional[str] = None) -> Generator:
         """Tree reduction to ``root`` (others receive ``None``)."""
-        result = yield from collectives.reduce(
-            self, value, op, root=root, size=size)
+        from repro.coll import api
+        result = yield from api.reduce(
+            self, value, op, root=root, size=size, bulk=bulk, algo=algo)
         return result
 
-    def allreduce(self, value: Any, op, size: int = 32) -> Generator:
+    def allreduce(self, value: Any, op, size: int = 32,
+                  bulk: bool = False, elementwise: bool = False,
+                  algo: Optional[str] = None) -> Generator:
         """Reduction whose result lands on every rank."""
-        result = yield from collectives.allreduce(self, value, op, size=size)
+        from repro.coll import api
+        result = yield from api.allreduce(
+            self, value, op, size=size, bulk=bulk,
+            elementwise=elementwise, algo=algo)
+        return result
+
+    def gather(self, value: Any, root: int = 0, size: int = 32,
+               bulk: bool = False,
+               algo: Optional[str] = None) -> Generator:
+        """Gather one value per rank to ``root`` (rank-ordered list)."""
+        from repro.coll import api
+        result = yield from api.gather(
+            self, value, root=root, size=size, bulk=bulk, algo=algo)
+        return result
+
+    def scatter(self, values: Optional[List[Any]] = None, root: int = 0,
+                size: int = 32, bulk: bool = False,
+                algo: Optional[str] = None) -> Generator:
+        """Scatter ``values[r]`` from ``root``; returns this rank's."""
+        from repro.coll import api
+        result = yield from api.scatter(
+            self, values, root=root, size=size, bulk=bulk, algo=algo)
+        return result
+
+    def allgather(self, value: Any, size: int = 32, bulk: bool = False,
+                  algo: Optional[str] = None) -> Generator:
+        """Gather one value per rank onto every rank."""
+        from repro.coll import api
+        result = yield from api.allgather(
+            self, value, size=size, bulk=bulk, algo=algo)
+        return result
+
+    def alltoall(self, values: List[Any], size: int = 32,
+                 sizes: Optional[List[int]] = None, bulk: bool = False,
+                 dense: bool = False,
+                 algo: Optional[str] = None) -> Generator:
+        """Personalized all-to-all (``None`` slots send nothing)."""
+        from repro.coll import api
+        result = yield from api.alltoall(
+            self, values, size=size, sizes=sizes, bulk=bulk,
+            dense=dense, algo=algo)
         return result
 
     # -- locks -------------------------------------------------------------------
@@ -379,7 +436,11 @@ def _gas_lock_release(am: AmLayer, packet) -> None:
 
 
 def register_gas_handlers(table: HandlerTable) -> None:
-    """Install the reserved ``_gas_*`` handlers used by :class:`Proc`."""
+    """Install the reserved ``_gas_*`` handlers used by :class:`Proc`,
+    plus the ``repro.coll`` deposit handler (every Proc's collectives
+    dispatch through that package)."""
+    from repro.coll.core import register_coll_handlers
+    register_coll_handlers(table)
     table.register("_gas_read", _gas_read)
     table.register("_gas_write", _gas_write)
     table.register("_gas_bulk_get", _gas_bulk_get)

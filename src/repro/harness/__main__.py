@@ -46,6 +46,10 @@ ARTIFACTS = {
         n_nodes=nodes, scale=scale),
     "table7": lambda nodes, scale: experiments.table7_spike_decay(
         n_nodes=nodes, scale=scale),
+    "figure10": lambda nodes, scale: experiments.figure10_collectives(
+        n_nodes=nodes),
+    "table8": lambda nodes, scale: experiments.table8_coll_tuner(
+        n_nodes=nodes),
     "surface": lambda nodes, scale: _surface(nodes, scale),
 }
 

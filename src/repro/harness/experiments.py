@@ -23,8 +23,9 @@ from repro.cluster.presets import MACHINE_PRESETS
 from repro.harness.report import ascii_plot, render_table
 from repro.harness.suite import suite_for
 from repro.harness.sweeps import (SweepResult, bulk_bandwidth_sweep,
-                                  fault_sweep, gap_sweep, latency_sweep,
-                                  overhead_sweep, spike_decay_sweep)
+                                  collective_sweep, fault_sweep, gap_sweep,
+                                  latency_sweep, overhead_sweep,
+                                  spike_decay_sweep)
 from repro.instruments.balance import render_balance
 from repro.models.gap import BurstGapModel
 from repro.models.overhead import OverheadModel
@@ -37,6 +38,7 @@ __all__ = [
     "figure5_overhead", "table5_overhead_model", "figure6_gap",
     "table6_gap_model", "figure7_latency", "figure8_bulk",
     "figure9_faults", "table7_spike_decay",
+    "figure10_collectives", "table8_coll_tuner",
 ]
 
 
@@ -491,3 +493,116 @@ def table7_spike_decay(n_nodes: int = 32, scale: float = 1.0,
         title=f"Table 7: delay-spike propagation "
               f"({duration_us:g} us spike at node {node})",
         parameter="spike_start_us", rows_=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 / Table 8 -- tuned collectives (beyond the paper).
+# ---------------------------------------------------------------------------
+
+def figure10_collectives(n_nodes: int = 32,
+                         primitives: Sequence[str] = ("broadcast",
+                                                      "allreduce",
+                                                      "allgather",
+                                                      "alltoall"),
+                         parameter: str = "gap",
+                         values: Optional[Sequence[float]] = None,
+                         size: int = 16384, bulk: bool = True,
+                         iterations: int = 4, seed: int = 0,
+                         **kwargs) -> SensitivityFigure:
+    """Figure 10: collective algorithm sensitivity to one dial.
+
+    For each primitive, sweeps every registered algorithm the
+    calibration benchmark can drive across ``parameter`` (dialed like
+    Figures 5-8) and plots one ``primitive/algorithm`` series per
+    combination.  Where the series cross is where a tuned machine
+    should switch schedules — the crossovers the ``model`` and
+    ``measured`` tuning policies exist to find.
+    """
+    from repro.coll.algorithms import eligible_algorithms
+    from repro.harness.sweeps import (PAPER_BANDWIDTHS, PAPER_GAPS,
+                                      PAPER_LATENCIES, PAPER_OVERHEADS)
+    if values is None:
+        values = {"overhead": PAPER_OVERHEADS, "gap": PAPER_GAPS,
+                  "latency": PAPER_LATENCIES,
+                  "bulk_mb_s": PAPER_BANDWIDTHS}[parameter]
+    figure = SensitivityFigure(
+        title=f"Figure 10 ({n_nodes} nodes): collective sensitivity "
+              f"to {parameter}",
+        x_label=parameter)
+    for primitive in primitives:
+        for algo in eligible_algorithms(primitive, elementwise=True,
+                                        dense=True, uniform=True):
+            sweep = collective_sweep(
+                primitive, n_nodes, parameter, values, algo=algo,
+                size=size, bulk=bulk, iterations=iterations, seed=seed,
+                **kwargs)
+            figure.sweeps[f"{primitive}/{algo}"] = sweep
+    return figure
+
+
+def table8_coll_tuner(n_nodes: int = 32,
+                      primitives: Sequence[str] = ("broadcast",
+                                                   "allreduce",
+                                                   "allgather",
+                                                   "alltoall"),
+                      sizes: Sequence[int] = (32, 1024, 16384, 65536),
+                      seed: int = 0,
+                      cache: Optional["RunCache"] = None,  # noqa: F821
+                      **kwargs) -> ModelTable:
+    """Table 8: the LogGP model's algorithm picks vs measured winners.
+
+    For each (primitive, size) cell, times every eligible algorithm
+    with :class:`~repro.coll.bench.CollectiveBench`, then reports the
+    measured winner, the closed-form model's pick, the model pick's
+    measured cost relative to the winner, and whether the pick is
+    within 10% of optimal ("ok").  The bottom-line agreement rate is
+    what ``benchmarks/`` asserts stays >= 80%.
+    """
+    from repro.cluster.machine import Cluster
+    from repro.coll.algorithms import eligible_algorithms
+    from repro.coll.bench import CollectiveBench
+    from repro.coll.model import estimate_cost
+    from repro.harness.runcache import run_key_spec
+    params = LogGPParams.berkeley_now()
+    knobs = TuningKnobs()
+    rows = []
+    for primitive in primitives:
+        for size in sizes:
+            bulk = size > 64
+            measured = {}
+            for algo in eligible_algorithms(primitive, elementwise=True,
+                                            dense=True, uniform=True):
+                bench = CollectiveBench(primitive, algo=algo, size=size,
+                                        bulk=bulk, **kwargs)
+                result = None
+                spec = None
+                if cache is not None:
+                    spec = run_key_spec(bench, n_nodes, params, knobs,
+                                        seed)
+                    outcome = cache.get(spec)
+                    if outcome is not None and outcome[0] is not None:
+                        result = outcome[0]
+                if result is None:
+                    result = Cluster(n_nodes, seed=seed).run(bench)
+                    if cache is not None:
+                        cache.put(spec, result=result)
+                measured[algo] = result.runtime_us
+            best_time, best_algo = min(
+                (t, a) for a, t in measured.items())
+            model_algo = min(
+                (estimate_cost(primitive, algo, n_nodes, size,
+                               params, knobs, bulk=bulk), algo)
+                for algo in measured)[1]
+            overcost = measured[model_algo] / best_time
+            rows.append({
+                "primitive": primitive,
+                "size": size,
+                "measured_best": best_algo,
+                "model_pick": model_algo,
+                "overcost": round(overcost, 3),
+                "within_10pct": "ok" if overcost <= 1.10 else "MISS",
+            })
+    return ModelTable(
+        title=f"Table 8 ({n_nodes} nodes): model-driven algorithm "
+              f"selection vs measured winners",
+        parameter="size", rows_=rows)

@@ -72,6 +72,9 @@ class PointTask:
     livelock_limit: int = 200_000
     window: int = 8
     faults: Optional[FaultPlan] = None
+    #: Collective tuning config (``repro.coll.tuner.CollConfig``), or
+    #: None for the legacy fixed schedules.
+    coll: Optional[Any] = None
     #: Run under simsan.  Never part of :meth:`key_spec` — sanitized
     #: points bypass the cache entirely instead of forking the key space
     #: (the run itself is bit-identical either way).
@@ -83,7 +86,7 @@ class PointTask:
             self.app, self.n_nodes, self.params, self.knobs, self.seed,
             run_limit_us=self.run_limit_us,
             livelock_limit=self.livelock_limit, window=self.window,
-            faults=self.faults)
+            faults=self.faults, coll=self.coll)
 
 
 def execute_point(task: PointTask) -> SweepPoint:
@@ -98,7 +101,7 @@ def execute_point(task: PointTask) -> SweepPoint:
                       run_limit_us=task.run_limit_us,
                       livelock_limit=task.livelock_limit,
                       window=task.window, faults=task.faults,
-                      sanitize=task.sanitize)
+                      sanitize=task.sanitize, coll=task.coll)
     point = SweepPoint(value=task.value, knobs=task.knobs)
     # Failure taxonomy: the prefix before ":" is the category that
     # SweepPoint.failure_category surfaces.  DeadlockError must be
@@ -128,7 +131,8 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                      cache: Optional[RunCache] = None,
                      fault_for: Optional[
                          Callable[[float], Optional[FaultPlan]]] = None,
-                     sanitize: bool = False) -> SweepResult:
+                     sanitize: bool = False,
+                     coll: Optional[Any] = None) -> SweepResult:
     """The sweep engine behind :func:`repro.harness.sweeps.run_sweep`.
 
     ``jobs=None`` or ``jobs<=1`` runs points serially in-process;
@@ -143,6 +147,10 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
     ``sanitize=True`` runs every point under simsan and bypasses the
     cache in both directions (no gets, no puts): cached entries carry no
     sanitizer report, and sanitized results must not shadow clean ones.
+
+    ``coll`` applies one collective tuning config
+    (:class:`~repro.coll.tuner.CollConfig`) to every point; it is part
+    of the cache key unless it is the default fixed config.
     """
     params = params if params is not None else LogGPParams.berkeley_now()
     if sanitize:
@@ -153,7 +161,7 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                   run_limit_us=run_limit_us,
                   livelock_limit=livelock_limit, window=window,
                   faults=fault_for(value) if fault_for is not None else None,
-                  sanitize=sanitize)
+                  sanitize=sanitize, coll=coll)
         for value in values
     ]
     points: List[Optional[SweepPoint]] = [None] * len(tasks)

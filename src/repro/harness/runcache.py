@@ -38,8 +38,9 @@ from repro.network.loggp import LogGPParams
 __all__ = ["RunCache", "run_key_spec", "app_fingerprint"]
 
 #: Bump to invalidate every existing cache entry when the simulator's
-#: event semantics change in a way that alters measured runtimes.
-CACHE_FORMAT = 2
+#: event semantics change in a way that alters measured runtimes (or,
+#: as in format 3, the serialized stats schema gains new counters).
+CACHE_FORMAT = 3
 
 
 def app_fingerprint(app: Any) -> Dict[str, Any]:
@@ -74,16 +75,20 @@ def run_key_spec(app: Any, n_nodes: int,
                  fabric: str = "flat",
                  disks_per_node: int = 2,
                  cost: Optional[CostModel] = None,
-                 faults: Optional["FaultPlan"] = None  # noqa: F821
+                 faults: Optional["FaultPlan"] = None,  # noqa: F821
+                 coll: Optional["CollConfig"] = None  # noqa: F821
                  ) -> Dict[str, Any]:
     """Everything that determines one run's outcome, as a JSON dict.
 
     A null (all-defaults) fault plan keys identically to no plan at
     all, matching the runtime guarantee that such runs are
-    bit-identical — so they share one cache entry.
+    bit-identical — so they share one cache entry.  A default (fixed,
+    no overrides) collective tuning config is normalised the same way.
     """
     if faults is not None and faults.is_null:
         faults = None
+    if coll is not None and coll.is_default:
+        coll = None
     return {
         "format": CACHE_FORMAT,
         "app": app_fingerprint(app),
@@ -99,6 +104,7 @@ def run_key_spec(app: Any, n_nodes: int,
         "disks_per_node": disks_per_node,
         "cost": dataclasses.asdict(cost if cost is not None else CostModel()),
         "faults": dataclasses.asdict(faults) if faults is not None else None,
+        "coll": dataclasses.asdict(coll) if coll is not None else None,
     }
 
 

@@ -25,6 +25,7 @@ __all__ = ["SweepPoint", "SweepResult", "FAILURE_CATEGORIES",
            "run_sweep", "overhead_sweep",
            "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
            "fault_sweep", "spike_decay_sweep", "NO_SPIKE",
+           "collective_sweep", "COLLECTIVE_SWEEP_DIALS",
            "PAPER_OVERHEADS", "PAPER_GAPS", "PAPER_LATENCIES",
            "PAPER_BANDWIDTHS", "FAULT_DROP_RATES"]
 
@@ -156,7 +157,9 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
               cache: Optional["RunCache"] = None,  # noqa: F821
               fault_for: Optional[
                   Callable[[float], Optional[FaultPlan]]] = None,
-              sanitize: bool = False) -> SweepResult:
+              sanitize: bool = False,
+              coll: Optional["CollConfig"] = None  # noqa: F821
+              ) -> SweepResult:
     """Run ``app`` at each dialed value; first value is the baseline.
 
     ``jobs`` > 1 fans the points across a process pool (bit-identical
@@ -166,6 +169,8 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
     value to a :class:`~repro.network.faults.FaultPlan` for that point.
     ``sanitize=True`` runs every point under simsan (and bypasses the
     cache — sanitized results are never cached or served from cache).
+    ``coll`` applies one :class:`~repro.coll.tuner.CollConfig` to every
+    point (part of the cache key unless it is the default).
     """
     # Imported lazily: parallel imports this module for SweepPoint/Result.
     from repro.harness.parallel import run_sweep_points
@@ -174,7 +179,7 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
                             run_limit_us=run_limit_us,
                             livelock_limit=livelock_limit, window=window,
                             jobs=jobs, cache=cache, fault_for=fault_for,
-                            sanitize=sanitize)
+                            sanitize=sanitize, coll=coll)
 
 
 def overhead_sweep(app: Application, n_nodes: int,
@@ -278,3 +283,53 @@ def spike_decay_sweep(app: Application, n_nodes: int,
     return run_sweep(
         app, n_nodes, "spike_start_us", values,
         lambda _start: TuningKnobs(), fault_for=fault_for, **kwargs)
+
+
+#: The dial each :func:`collective_sweep` point can move, with its
+#: knob constructor (value → :class:`TuningKnobs`, given baseline
+#: params).  Mirrors the four figure sweeps above.
+COLLECTIVE_SWEEP_DIALS = ("overhead", "gap", "latency", "bulk_mb_s")
+
+
+def collective_sweep(primitive: str, n_nodes: int,
+                     parameter: str,
+                     values: Sequence[float],
+                     algo: Optional[str] = None,
+                     size: int = 32,
+                     bulk: bool = False,
+                     iterations: int = 4,
+                     params: Optional[LogGPParams] = None,
+                     coll: Optional["CollConfig"] = None,  # noqa: F821
+                     **kwargs) -> SweepResult:
+    """Collective sensitivity: one primitive's runtime across one dial.
+
+    Runs :class:`~repro.coll.bench.CollectiveBench` for ``primitive``
+    (scheduled as ``algo``, or by the cluster's tuning policy when
+    ``algo`` is None and ``coll`` supplies one) at every value of
+    ``parameter`` — one of :data:`COLLECTIVE_SWEEP_DIALS`, dialed
+    exactly like the Figure 5-8 sweeps.  The first value is the
+    baseline, so slowdowns read like the paper's figures but for a
+    single collective instead of a whole application.
+    """
+    from repro.coll.bench import CollectiveBench
+    params = params or LogGPParams.berkeley_now()
+    if parameter == "overhead":
+        def knob_for(o):
+            return TuningKnobs.added_overhead(max(0.0, o - params.overhead))
+    elif parameter == "gap":
+        def knob_for(g):
+            return TuningKnobs.added_gap(max(0.0, g - params.gap))
+    elif parameter == "latency":
+        def knob_for(L):
+            return TuningKnobs.added_latency(max(0.0, L - params.latency))
+    elif parameter == "bulk_mb_s":
+        def knob_for(mb):
+            return TuningKnobs.bulk_bandwidth(mb, params)
+    else:
+        raise ValueError(
+            f"parameter must be one of {COLLECTIVE_SWEEP_DIALS}, "
+            f"got {parameter!r}")
+    app = CollectiveBench(primitive, algo=algo, size=size, bulk=bulk,
+                          iterations=iterations)
+    return run_sweep(app, n_nodes, parameter, values, knob_for,
+                     params=params, coll=coll, **kwargs)

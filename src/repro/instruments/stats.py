@@ -48,6 +48,12 @@ class ClusterStats:
         self.reassembly_leaks = np.zeros(n_nodes, dtype=np.int64)
         #: Simulated µs each node's NIC transmit context was busy.
         self.tx_busy_us = np.zeros(n_nodes, dtype=np.float64)
+        #: Collective invocations per node, keyed ``"kind/algorithm"``
+        #: (e.g. ``"broadcast/binomial"``); arrays created lazily the
+        #: first time a (kind, algo) pair is dispatched.
+        self.collective_calls: dict = {}
+        #: Declared payload bytes per node for the same keys.
+        self.collective_bytes: dict = {}
         #: Application start/end in simulated µs (set by the runtime).
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -114,6 +120,34 @@ class ClusterStats:
         if not self.enabled:
             return
         self.duplicates_suppressed[node_id] += 1
+
+    def on_collective(self, kind: str, algo: str, rank: int,
+                      nbytes: int) -> None:
+        """Rank ``rank`` dispatched one ``kind`` collective scheduled as
+        ``algo``, declaring ``nbytes`` payload bytes.
+
+        Called once per rank per invocation by ``repro.coll.api``, so
+        tuned-vs-untuned runs are auditable from stats alone: the keys
+        say exactly which schedules ran, and how often.
+        """
+        if not self.enabled:
+            return
+        key = f"{kind}/{algo}"
+        calls = self.collective_calls.get(key)
+        if calls is None:
+            calls = self.collective_calls.setdefault(
+                key, np.zeros(self.n_nodes, dtype=np.int64))
+            self.collective_bytes.setdefault(
+                key, np.zeros(self.n_nodes, dtype=np.int64))
+        calls[rank] += 1
+        self.collective_bytes[key][rank] += nbytes
+
+    @property
+    def total_collectives(self) -> int:
+        """Collective invocations dispatched, summed over all nodes and
+        kinds (each invocation counted once per participating rank)."""
+        return int(sum(int(arr.sum())
+                       for arr in self.collective_calls.values()))
 
     def on_tx_busy(self, node_id: int, busy_us: float) -> None:
         """``node_id``'s transmit context was busy for ``busy_us``."""
@@ -196,6 +230,12 @@ class ClusterStats:
         data["n_nodes"] = self.n_nodes
         data["started_at"] = self.started_at
         data["finished_at"] = self.finished_at
+        data["collective_calls"] = {
+            key: arr.tolist()
+            for key, arr in sorted(self.collective_calls.items())}
+        data["collective_bytes"] = {
+            key: arr.tolist()
+            for key, arr in sorted(self.collective_bytes.items())}
         return data
 
     @classmethod
@@ -210,6 +250,11 @@ class ClusterStats:
             getattr(stats, name)[...] = array
         stats.started_at = data["started_at"]
         stats.finished_at = data["finished_at"]
+        for field_name in ("collective_calls", "collective_bytes"):
+            restored = {
+                key: np.asarray(values, dtype=np.int64)
+                for key, values in data.get(field_name, {}).items()}
+            setattr(stats, field_name, restored)
         return stats
 
     def per_node_rows(self) -> List[dict]:
@@ -225,6 +270,9 @@ class ClusterStats:
                 "barriers": int(self.barriers[node]),
                 "dropped": int(self.packets_dropped[node]),
                 "retransmits": int(self.retransmissions[node]),
+                "collectives": int(sum(
+                    int(arr[node])
+                    for arr in self.collective_calls.values())),
             }
             for node in range(self.n_nodes)
         ]

@@ -103,6 +103,20 @@ def test_handler_purity_good_fixture_is_clean():
     assert findings_for("handler_purity_good.py") == []
 
 
+def test_coll_bad_fixture_golden_findings():
+    """The repro.coll entry points are covered by every SPMD rule."""
+    findings = findings_for("coll_bad.py")
+    assert lines_by_rule(findings, "unyielded-blocking-call") == [6, 7]
+    assert lines_by_rule(findings, "rank-dependent-collective") == \
+        [13, 17]
+    assert lines_by_rule(findings, "handler-purity") == [26]
+    assert len(findings) == 5
+
+
+def test_coll_good_fixture_is_clean():
+    assert findings_for("coll_good.py") == []
+
+
 # -- hygiene pack -----------------------------------------------------------
 
 def test_hygiene_bad_fixture_golden_findings():
@@ -145,6 +159,7 @@ def test_every_rule_has_at_least_one_failing_fixture():
                                   "spmd_good.py",
                                   "handler_purity_good.py",
                                   "hygiene_good.py",
+                                  "coll_good.py",
                                   "suppressed.py"])
 def test_clean_fixtures_produce_no_findings(name):
     assert findings_for(name) == []
