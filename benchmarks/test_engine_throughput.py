@@ -4,12 +4,15 @@ Tracks the discrete-event kernel's performance so regressions in the
 simulation substrate are caught: a full LogGP sweep is ~10^7 events, so
 event throughput directly bounds experiment wall-clock.
 
-Reference points (same container, best of 7): the naive kernel ran the
-event storm at ~335k events/s and the AM storm at ~265k; after the
-hot-path work (inlined run loop, fast Timeout construction, slot reads
-instead of raising properties — see ARCHITECTURE.md §7) they run at
-~660k (2.0x) and ~410k (1.5x).  Treat a drop below ~1.3x of the naive
-numbers as a regression.
+Reference numbers live in the committed ``BENCH_6.json`` at the repo
+root, regenerated with ``python scripts/run_benchmarks.py`` (one forked
+interpreter per measurement, tiers interleaved, best of 5x7): it records
+events/second for both storms below across the ``naive`` (pre-§7
+kernel shape), ``heap`` (inlined reference loop), and ``calendar``
+(raw-speed tier) configurations, plus the speedup matrix.  Treat a
+drop below ~1.3x of the committed naive numbers as a regression; the
+CI ``bench-smoke`` job enforces the calendar tier's floor on the event
+storm and bit-identical event counts on both storms.
 """
 
 from repro.sim import Simulator
@@ -67,3 +70,17 @@ def test_am_layer_throughput(benchmark):
     events = benchmark(run_am_storm)
     # 1000 requests + 1000 acks, several events each.
     assert events > 4000
+
+
+def test_storm_counts_identical_across_engines():
+    """Both storms process the exact same number of events on every
+    scheduling tier (the bit-identity contract, at benchmark scale)."""
+    from repro.sim import set_default_engine
+    counts = {}
+    for engine in ("heap", "calendar"):
+        previous = set_default_engine(engine)
+        try:
+            counts[engine] = (run_event_storm(), run_am_storm())
+        finally:
+            set_default_engine(previous)
+    assert counts["calendar"] == counts["heap"]

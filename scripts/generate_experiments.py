@@ -14,6 +14,7 @@ re-running the script only simulates configurations it has never seen.
 Usage:
     python scripts/generate_experiments.py [--scale 0.5] [--out EXPERIMENTS.md]
         [--jobs N] [--no-cache] [--cache-dir DIR] [--apps Radix,Sample,...]
+        [--engine heap|calendar] [--profile]
 """
 
 from __future__ import annotations
@@ -25,6 +26,50 @@ import time
 from repro.calibrate import calibrate_bulk_bandwidth
 from repro.harness import RunCache
 from repro.harness.parallel import run_experiments_parallel
+from repro.sim import ENGINES, set_default_engine
+
+
+def _run_profiled(requests):
+    """Run experiments serially, cProfiling ``execute_point`` calls.
+
+    After each experiment completes, the top 25 cumulative-time entries
+    collected from its sweep points are dumped to stderr and the
+    profiler is reset, so each dump covers exactly one experiment.
+    Experiments that never reach ``execute_point`` (pure calibration
+    tables) produce no dump.
+    """
+    import cProfile
+    import pstats
+
+    from repro.harness import parallel
+
+    box = {"profiler": cProfile.Profile()}
+    original = parallel.execute_point
+
+    def profiled(task):
+        profiler = box["profiler"]
+        profiler.enable()
+        try:
+            return original(task)
+        finally:
+            profiler.disable()
+
+    parallel.execute_point = profiled
+    try:
+        results = []
+        for name, kwargs in requests:
+            results.append(
+                run_experiments_parallel([(name, kwargs)], jobs=1)[0])
+            if box["profiler"].getstats():
+                print(f"--- profile: {name} "
+                      "(execute_point, top 25 by cumulative time) ---",
+                      file=sys.stderr)
+                stats = pstats.Stats(box["profiler"], stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(25)
+                box["profiler"] = cProfile.Profile()
+        return results
+    finally:
+        parallel.execute_point = original
 
 
 def fmt(value, digits=2):
@@ -48,7 +93,23 @@ def main(argv=None) -> int:
     parser.add_argument("--apps", default=None,
                         help="comma-separated subset of Table 3 app names "
                         "(reduced grid for smoke runs)")
+    parser.add_argument("--engine", default=None,
+                        choices=(*ENGINES, "fast"),
+                        help="Simulator scheduling engine for every run; "
+                        "engines are bit-identical, so the report and the "
+                        "run-cache keys do not depend on this")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile execute_point and dump the top 25 "
+                        "cumulative entries per experiment to stderr "
+                        "(forces --jobs 1)")
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        # Before any pools: forked sweep workers inherit the default.
+        set_default_engine(args.engine)
+    if args.profile and args.jobs != 1:
+        print("--profile runs in-process; forcing --jobs 1",
+              file=sys.stderr)
+        args.jobs = 1
     scale = args.scale
     cache = None if args.no_cache else RunCache(args.cache_dir)
     selected = None if args.apps is None else \
@@ -122,9 +183,12 @@ def main(argv=None) -> int:
                                "sizes": (32, 1024, 16384, 65536),
                                "iterations": 2, "cache": cache}),
     ]
+    if args.profile:
+        results = _run_profiled(requests)
+    else:
+        results = run_experiments_parallel(requests, jobs=args.jobs)
     (t1, sig, t2, t3, t4, fig4, fig5_16, fig5_32, t5, fig6, t6, fig7,
-     fig8, fig9, t7, fig10, t8) = run_experiments_parallel(
-        requests, jobs=args.jobs)
+     fig8, fig9, t7, fig10, t8) = results
 
     out = []
     w = out.append

@@ -110,6 +110,11 @@ class AmLayer:
         self._credit_owner: Dict[int, int] = {}
         self._rx_queue: Deque[Packet] = deque()
         self._wakeup = None
+        #: Cached per-message host costs.  ``params`` and ``knobs`` are
+        #: frozen dataclasses, so these cannot drift; caching keeps two
+        #: attribute-chain walks off the per-message service path.
+        self._send_cost = params.send_overhead + knobs.delta_o
+        self._recv_cost = params.recv_overhead + knobs.delta_o
         #: xfer_id -> callable(payload) run when the pairing reply (or
         #: reply-bulk completion) is processed by the host.
         self._on_reply: Dict[int, Callable[[Any], None]] = {}
@@ -127,12 +132,12 @@ class AmLayer:
     @property
     def send_cost(self) -> float:
         """Host time to send one message: ``o_send + delta_o`` µs."""
-        return self.params.send_overhead + self.knobs.delta_o
+        return self._send_cost
 
     @property
     def recv_cost(self) -> float:
         """Host time to receive one message: ``o_recv + delta_o`` µs."""
-        return self.params.recv_overhead + self.knobs.delta_o
+        return self._recv_cost
 
     def credits_for(self, dst: int) -> int:
         """Unused window slots toward ``dst`` (diagnostic)."""
@@ -180,61 +185,72 @@ class AmLayer:
     def poll(self) -> Generator:
         """Drain delivered messages, paying receive overhead per message
         and running handlers.  The workhorse of the layer; called from
-        every communication operation and wait loop, as in GAM."""
-        while self._rx_queue:
-            yield from self._service_one()
+        every communication operation and wait loop, as in GAM.  A
+        same-tick backlog (back-to-back packet arrivals) is drained as
+        one batch: every message is serviced via a single
+        :meth:`_service` frame driven from this generator, rather than
+        a fresh receive/dispatch frame chain per message."""
+        rx = self._rx_queue
+        while rx:
+            yield from self._service(rx.popleft())
 
-    def _service_one(self) -> Generator:
-        """Receive and dispatch exactly one pending message."""
-        packet = self._rx_queue.popleft()
-        yield self.sim.timeout(self.recv_cost)
+    def _service(self, packet: Packet) -> Generator:
+        """Receive and dispatch one message in a single generator frame.
+
+        This is the flattened union of what used to be five frames
+        (service / dispatch / request-dispatch / auto-ack / send-charge)
+        — one frame per message keeps the host-resume path shallow when
+        a batch of same-tick arrivals is drained.  The simulated-time
+        charges are identical to the unflattened code by construction:
+        one ``recv_cost`` timeout per message, one ``send_cost`` timeout
+        per (auto-)ack, in the same order.
+        """
+        yield self.sim.timeout(self._recv_cost)
         if self.stats is not None:
             self.stats.on_host_recv(self.node_id, packet)
         if self.sanitizer is not None and packet.clock is not None:
             # The happens-before edge of this delivery: join the
             # sender's piggybacked snapshot into this rank's clock.
             self.sanitizer.on_deliver(self.node_id, packet.clock)
-        yield from self._dispatch(packet)
-        if self.tracer is not None:
-            self.tracer.record("handled", packet.xfer_id, self.sim.now)
-
-    def _dispatch(self, packet: Packet) -> Generator:
         if packet.kind is PacketKind.REQUEST or (
                 packet.kind is PacketKind.BULK_FRAGMENT
                 and not packet.is_reply):
-            yield from self._dispatch_request(packet)
+            outer_request = self._current_request
+            outer_replied = self._current_replied
+            self._current_request = packet
+            self._current_replied = False
+            try:
+                if packet.handler is not None:
+                    result = self.handlers.lookup(packet.handler)(
+                        self, packet)
+                    if result is not None:
+                        yield from result
+                if not packet.one_way and not self._current_replied:
+                    # Split-C semantics: every request is acknowledged,
+                    # so the sender's window credit returns and the
+                    # sender pays its second `o` receiving the ack.
+                    self._current_replied = True
+                    yield self.sim.timeout(self._send_cost)
+                    ack = Packet(kind=PacketKind.REPLY, src=self.node_id,
+                                 dst=packet.src, payload=None,
+                                 size_bytes=SHORT_PACKET_BYTES,
+                                 is_read=packet.is_read)
+                    ack.xfer_id = packet.xfer_id
+                    self._record_send(ack)
+                    self.nic.enqueue(ack)
+            finally:
+                self._current_request = outer_request
+                self._current_replied = outer_replied
         else:
-            yield from self._dispatch_reply(packet)
-
-    def _dispatch_request(self, packet: Packet) -> Generator:
-        outer_request = self._current_request
-        outer_replied = self._current_replied
-        self._current_request = packet
-        self._current_replied = False
-        try:
-            if packet.handler is not None:
-                handler = self.handlers.lookup(packet.handler)
-                result = handler(self, packet)
+            callback = self._on_reply.pop(packet.xfer_id, None)
+            if packet.handler is not None and packet.handler in self.handlers:
+                result = self.handlers.lookup(packet.handler)(self, packet)
                 if result is not None:
                     yield from result
-            if not packet.one_way and not self._current_replied:
-                # Split-C semantics: every request is acknowledged, so the
-                # sender's window credit returns and the sender pays its
-                # second `o` receiving the ack.
-                yield from self._send_auto_ack(packet)
-        finally:
-            self._current_request = outer_request
-            self._current_replied = outer_replied
-
-    def _dispatch_reply(self, packet: Packet) -> Generator:
-        callback = self._on_reply.pop(packet.xfer_id, None)
-        if packet.handler is not None and packet.handler in self.handlers:
-            handler = self.handlers.lookup(packet.handler)
-            result = handler(self, packet)
-            if result is not None:
-                yield from result
-        if callback is not None:
-            callback(packet.payload)
+            if callback is not None:
+                callback(packet.payload)
+        if self.tracer is not None:
+            self.tracer.record("handled", packet.xfer_id, self.sim.now)
 
     def wait_until(self, predicate: Callable[[], bool],
                    wait: Optional[tuple] = None) -> Generator:
@@ -261,7 +277,7 @@ class AmLayer:
                 if predicate():
                     return
                 if self._rx_queue:
-                    yield from self._service_one()
+                    yield from self._service(self._rx_queue.popleft())
                     continue
                 yield self._arm_wakeup()
         finally:
@@ -294,9 +310,6 @@ class AmLayer:
     def _note_outstanding(self, packet: Packet) -> None:
         self._credit_owner[packet.xfer_id] = self._credit_key(packet.dst)
 
-    def _charge_send(self) -> Generator:
-        yield self.sim.timeout(self.send_cost)
-
     def _record_send(self, packet: Packet) -> None:
         if self.sanitizer is not None:
             # Every host-level send passes through here; piggyback the
@@ -328,7 +341,7 @@ class AmLayer:
         """
         self._guard_not_in_handler("send_request")
         yield from self._acquire_credit(dst)
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         packet = Packet(kind=PacketKind.REQUEST, src=self.node_id, dst=dst,
                         handler=handler, payload=payload, size_bytes=size,
                         is_read=is_read)
@@ -362,7 +375,7 @@ class AmLayer:
         ``o``).  Used by NOW-sort's one-way Active Messages."""
         self._guard_not_in_handler("send_oneway")
         yield from self._acquire_credit(dst)
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         packet = Packet(kind=PacketKind.REQUEST, src=self.node_id, dst=dst,
                         handler=handler, payload=payload, size_bytes=size,
                         one_way=True)
@@ -415,7 +428,7 @@ class AmLayer:
         if nbytes <= 0:
             raise ValueError(f"bulk transfer of {nbytes} bytes")
         yield from self._acquire_credit(dst)
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         last = self._enqueue_fragments(dst, handler, payload, nbytes,
                                        one_way=False, is_reply=False)
         if on_complete is not None:
@@ -442,7 +455,7 @@ class AmLayer:
         if nbytes <= 0:
             raise ValueError(f"bulk transfer of {nbytes} bytes")
         yield from self._acquire_credit(dst)
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         last = self._enqueue_fragments(dst, handler, payload, nbytes,
                                        one_way=True, is_reply=False)
         self._note_outstanding(last)
@@ -480,7 +493,7 @@ class AmLayer:
               handler: Optional[str] = None) -> Generator:
         """Send the short reply for the request being handled."""
         request = self._take_current_request("reply")
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         packet = Packet(kind=PacketKind.REPLY, src=self.node_id,
                         dst=request.src, handler=handler, payload=payload,
                         size_bytes=size, is_read=request.is_read)
@@ -494,24 +507,12 @@ class AmLayer:
         request = self._take_current_request("reply_bulk")
         if nbytes <= 0:
             raise ValueError(f"bulk reply of {nbytes} bytes")
-        yield from self._charge_send()
+        yield self.sim.timeout(self._send_cost)
         last = self._enqueue_fragments(
             request.src, handler, (payload, nbytes), nbytes,
             one_way=False, is_reply=True, xfer_id=request.xfer_id,
             is_read=request.is_read)
         self._record_send(last)
-
-    def _send_auto_ack(self, request: Packet) -> Generator:
-        """Automatic acknowledgement for handlers that did not reply."""
-        self._current_replied = True
-        yield from self._charge_send()
-        packet = Packet(kind=PacketKind.REPLY, src=self.node_id,
-                        dst=request.src, payload=None,
-                        size_bytes=SHORT_PACKET_BYTES,
-                        is_read=request.is_read)
-        packet.xfer_id = request.xfer_id
-        self._record_send(packet)
-        self.nic.enqueue(packet)
 
     # -- draining ------------------------------------------------------------
     def drain(self) -> Generator:

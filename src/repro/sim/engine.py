@@ -9,8 +9,14 @@ is ~10^7 events), so :meth:`Simulator.run` inlines the per-event work
 with the heap and bookkeeping hoisted into locals, and
 :meth:`Simulator.timeout` builds the (overwhelmingly common) Timeout
 event without going through the generic ``Event`` constructor.
-``benchmarks/test_engine_throughput.py`` tracks the resulting
-events/second so regressions are caught.
+
+This class is also the *reference tier* of a two-tier scheduler (see
+ARCHITECTURE.md section 13): ``Simulator(engine="calendar")`` returns a
+:class:`~repro.sim.fastengine.CalendarSimulator`, a faster drop-in that
+must replay every workload bit-identically — same event order, same
+``now``, same ``events_processed``.  ``benchmarks/test_engine_
+throughput.py`` and the committed ``BENCH_6.json`` track events/second
+for both tiers so regressions are caught.
 """
 
 from __future__ import annotations
@@ -21,7 +27,71 @@ from typing import Any, Generator, List, Optional, Tuple
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
-__all__ = ["Simulator", "StalledError"]
+__all__ = ["Simulator", "StalledError", "ENGINES",
+           "default_engine", "set_default_engine"]
+
+_INF = float("inf")
+
+#: The selectable scheduling tiers.  ``heap`` is this module's reference
+#: engine; ``calendar`` is the raw-speed tier in
+#: :mod:`repro.sim.fastengine` (``fast`` is an alias for it).
+ENGINES = ("heap", "calendar")
+
+_ENGINE_ALIASES = {"fast": "calendar"}
+
+_default_engine = "heap"
+
+
+def default_engine() -> str:
+    """The engine name ``Simulator()`` resolves to when none is given."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default scheduling tier.
+
+    Lets a driver (e.g. ``scripts/generate_experiments.py --engine``)
+    switch every simulator it creates — including those built in forked
+    sweep workers — without threading the knob through each call site.
+    Returns the previous default.  Both tiers are bit-identical by
+    contract, so the choice never changes results, cache keys, or
+    artifacts; only wall-clock.
+    """
+    global _default_engine
+    resolved = _ENGINE_ALIASES.get(engine, engine)
+    if resolved not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
+    previous = _default_engine
+    _default_engine = resolved
+    return previous
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    resolved = _ENGINE_ALIASES.get(engine, engine)
+    if resolved is None:
+        return _default_engine
+    if resolved not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
+    return resolved
+
+
+def _reject_delay(kind: str, delay: float) -> None:
+    """Raise the ValueError for a delay outside ``[0, inf)``.
+
+    Callers only land here after ``0.0 <= delay < _INF`` failed, i.e.
+    the delay is negative, ``+inf``, or NaN.  NaN compares false against
+    everything, so the previous ``delay < 0`` checks silently admitted
+    NaN delays and corrupted the schedule order — non-finite values get
+    their own explicit message; finite negatives keep the legacy text.
+    """
+    if delay != delay or delay in (_INF, -_INF):
+        raise ValueError(
+            f"non-finite {kind}: {delay!r} (delays must be finite and >= 0)")
+    if kind == "timeout delay":
+        raise ValueError(f"negative timeout delay: {delay}")
+    raise ValueError(f"cannot schedule into the past: delay={delay}")
 
 
 class StalledError(TimeoutError):
@@ -53,9 +123,26 @@ class Simulator:
         proc = sim.process(ping())
         sim.run()
         assert sim.now == 5.0
+
+    ``engine`` selects the scheduling tier: ``"heap"`` (this class, the
+    bit-identity reference) or ``"calendar"`` (the raw-speed tier;
+    ``"fast"`` is an alias).  ``None`` resolves to the process-wide
+    default set with :func:`set_default_engine` (``"heap"`` unless a
+    driver changed it).
     """
 
-    def __init__(self) -> None:
+    #: Which scheduling tier this instance is (``"heap"`` here).
+    engine = "heap"
+
+    def __new__(cls, engine: Optional[str] = None, **kwargs: Any):
+        if cls is Simulator and _resolve_engine(engine) == "calendar":
+            from repro.sim.fastengine import CalendarSimulator
+            return object.__new__(CalendarSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, engine: Optional[str] = None) -> None:
+        # ``engine`` was consumed by __new__ (it picked this class);
+        # kept in the signature so Simulator(engine=...) constructs.
         self._now = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -86,8 +173,8 @@ class Simulator:
         pre-triggered and pre-scheduled — without the generic
         ``Event.__init__``/``_schedule`` machinery.
         """
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        if not 0.0 <= delay < _INF:
+            _reject_delay("timeout delay", delay)
         event = Timeout.__new__(Timeout)
         event.sim = self
         event.name = ""
@@ -117,14 +204,25 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = NORMAL) -> None:
         """Insert a triggered event into the heap (internal API)."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        if not 0.0 <= delay < _INF:
+            _reject_delay("schedule delay", delay)
         if event._scheduled:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._scheduled = True
         self._seq += 1
         heappush(self._heap, (self._now + delay, priority,
                               self._seq, event))
+
+    def _reject(self, delay: float) -> None:
+        """Raise for a bad timeout delay (hook for ``Timeout.__init__``,
+        which cannot import this module's helpers — circular import)."""
+        _reject_delay("timeout delay", delay)
+
+    def _push(self, event: Event, delay: float) -> None:
+        """Insert a pre-validated, pre-triggered event (the ``Timeout``
+        constructor's path; engine tiers override the storage)."""
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, NORMAL, self._seq, event))
 
     # -- execution --------------------------------------------------------
     def step(self) -> None:

@@ -8,7 +8,6 @@ its exception inside every waiting process.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Timeout", "AnyOf", "AllOf", "EventError"]
@@ -135,17 +134,16 @@ class Timeout(Event):
 
     def __init__(self, sim: "Simulator", delay: float,  # noqa: F821
                  value: Any = None, name: str = "") -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        if not 0.0 <= delay < float("inf"):
+            # Mirrors Simulator.timeout: NaN compares false against
+            # everything, so a bare ``delay < 0`` let NaN through.
+            sim._reject(delay)
         super().__init__(sim, name=name)
         self.delay = delay
         self._ok = True
         self._value = value
         self._scheduled = True
-        sim._seq += 1
-        # Priority 1 is engine.NORMAL (not importable here: the engine
-        # module imports this one).
-        heappush(sim._heap, (sim._now + delay, 1, sim._seq, self))
+        sim._push(self, delay)
 
     def __repr__(self) -> str:
         label = self.name or f"timeout({self.delay})"

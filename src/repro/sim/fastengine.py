@@ -1,0 +1,740 @@
+"""The raw-speed scheduling tier: a calendar-queue simulator.
+
+:class:`CalendarSimulator` is a drop-in replacement for the reference
+heap engine in :mod:`repro.sim.engine`, selected with
+``Simulator(engine="calendar")`` (or ``"fast"``).  It must replay every
+workload **bit-identically** — same event order, same ``now``, same
+``events_processed``, same raised exceptions — which the differential
+fuzz suite in ``tests/test_engine_equivalence.py`` enforces.  The speed
+comes from four structural changes, none of which may alter semantics:
+
+1. **Calendar queue instead of a binary heap.**  The NIC's schedule is
+   mostly monotone and short-horizon (timeouts of ``o``, ``g``, ``L``,
+   ``G*k`` dominate), so pending events are bucketed by
+   ``int(when * inv_width)``.  Buckets are plain unsorted lists; when a
+   bucket becomes current it is sorted *descending* once and drained
+   with ``list.pop()`` from the tail, so the per-event cost is an
+   append plus a pop instead of two ``O(log n)`` sift passes.  Events
+   scheduled into the *currently draining* bucket go to a small side
+   min-heap (``_pending``) that the drain loop merges by full-tuple
+   comparison.  Far-future events degrade gracefully: the sparse bucket
+   dict is keyed through a min-heap of bucket indices, so an event
+   scheduled a million microseconds out costs one heap entry, not a
+   million empty bucket scans.  Because the ``when -> index`` mapping
+   is monotone and buckets drain in index order with a full
+   ``(time, priority, sequence)`` sort, the global order is exactly the
+   reference engine's.
+
+2. **Timeout free-list.**  ``timeout()`` is called ~10^7 times per
+   sweep.  Once a ``Timeout`` has been processed and provably has no
+   outside references (``sys.getrefcount`` — at the check point only
+   one loop local holds it), it is recycled instead of re-allocated.
+   The refcount gate is what keeps this invisible: a timeout somebody
+   still holds (to read ``.value`` later, or to re-yield) is never
+   reused.  On interpreters without CPython refcounts the gate simply
+   never fires and every timeout is freshly allocated.
+
+3. **Inlined process resume.**  The dominant callback is a process
+   waiting alone on a timeout; the run loop runs the generator ``send``
+   inline, including the common "yielded a fresh same-sim Timeout" wait
+   path, saving two Python frames per event.  When the inline path
+   parks a waiter it stores the :class:`~repro.sim.process.Process`
+   itself in the callback list (cheaper to re-recognise than a bound
+   method); the loop and ``step`` translate such entries back to
+   ``Process._resume`` semantics, and every uncommon case — including a
+   process's very first wait, which arrives as the real bound method —
+   falls back to the real methods, so behaviour is byte-for-byte the
+   reference's.
+
+4. **Timeouts cannot fail.**  A ``Timeout`` is born triggered-OK and
+   ``succeed``/``fail`` refuse already-triggered events, so for the
+   Timeout class the ``_ok`` branch, the unhandled-failure test, *and*
+   the stop-event check are all skippable: a recycled timeout (refcount
+   gate passed) cannot be the event that set ``_stop_requested``,
+   because ``_stop_requested`` itself would hold a reference.
+
+``benchmarks/test_engine_throughput.py`` and the committed
+``BENCH_6.json`` track the resulting events/second (ARCHITECTURE.md
+section 13 has the measured trajectory).
+
+Internal invariants (the run loop's correctness hinges on these):
+
+* ``_cur`` is sorted descending and drained from the tail; everything
+  still in it sorts at-or-after every already-processed entry.
+* ``_pending`` is a min-heap and ``_fifo`` an append-only deque, both
+  holding only entries whose bucket index is ``_cur_index``.  Zero-delay
+  NORMAL-priority schedules go to ``_fifo`` — ``now`` and the sequence
+  counter are monotone, so those entries arrive already sorted and an
+  O(1) append/popleft replaces two O(log n) heap passes; everything
+  else lands in ``_pending``.  The drain loop takes the smallest of
+  ``_cur[-1]`` / ``_fifo[0]`` / ``_pending[0]`` by full-tuple
+  comparison and fully drains both side stores before refilling the
+  next bucket.  All three stores must be parked back into the bucket
+  dict together (see ``_park_current``).
+* A bucket index present in ``_buckets`` is never the current bucket's
+  index, so the membership probe doubles as the current-bucket test.
+* New entries never sort before the drain point: schedules happen at
+  ``now``, and ``when >= now`` holds for every insert.
+* A ``Process`` object appears in an ``Event.callbacks`` list only for
+  events owned by a :class:`CalendarSimulator`, which is also the only
+  consumer of those lists (events never cross simulators).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+from sys import getrefcount
+from types import MethodType
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import NORMAL, Simulator, StalledError, _reject_delay
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["CalendarSimulator"]
+
+_INF = float("inf")
+
+#: Shared overflow bucket for events so far out that ``when * inv_width``
+#: does not fit an exact float product.  Collapsing them into one
+#: (sorted-on-drain) bucket keeps the mapping monotone, which is all the
+#: ordering proof needs.
+_FAR_BUCKET = 1 << 62
+
+#: The bound-method target the run loop inlines (see point 3 above).
+_RESUME = Process._resume
+
+#: Default bucket width in simulated microseconds.  LogGP overheads and
+#: gaps are O(1) us, so sub-microsecond buckets stay small enough that
+#: the drain-time sort is a handful of comparisons per event.  Any
+#: positive width is correct; this only moves the constant factor.
+_DEFAULT_WIDTH = 0.5
+
+
+class CalendarSimulator(Simulator):
+    """Calendar-queue drop-in for :class:`~repro.sim.engine.Simulator`.
+
+    Constructed via ``Simulator(engine="calendar")`` (preferred, keeps
+    call sites engine-agnostic) or directly.  ``width`` is the bucket
+    width in microseconds (default :data:`_DEFAULT_WIDTH`).
+    """
+
+    engine = "calendar"
+
+    def __init__(self, engine: Optional[str] = None,
+                 width: Optional[float] = None) -> None:
+        if width is None:
+            width = _DEFAULT_WIDTH
+        if not 0.0 < width < _INF:
+            raise ValueError(f"bucket width must be finite and > 0: {width}")
+        self._now = 0.0
+        self._event_count = 0
+        self._stop_requested: Optional[Event] = None
+        self._width = width
+        self._inv_width = 1.0 / width
+        #: Future buckets: index -> unsorted entry list, sorted once on
+        #: refill.
+        self._buckets: Dict[int, List[Tuple[float, int, int, Event]]] = {}
+        #: Min-heap of the indices present in ``_buckets``.
+        self._bheap: List[int] = []
+        #: The bucket currently draining: sorted descending, popped from
+        #: the tail.
+        self._cur: List[Tuple[float, int, int, Event]] = []
+        self._cur_index: Optional[int] = None
+        #: Min-heap of entries scheduled into the current bucket while
+        #: it drains (see the module-docstring invariants).
+        self._pending: List[Tuple[float, int, int, Event]] = []
+        #: FIFO of *zero-delay* entries scheduled into the current
+        #: bucket while it drains.  ``now`` and the sequence counter are
+        #: both monotone and every zero-delay entry carries NORMAL
+        #: priority, so appends arrive already sorted — an O(1) deque
+        #: replaces two O(log n) heap passes for the wakeup/kickoff/
+        #: bridge events that dominate cluster workloads.
+        self._fifo: Any = deque()
+        #: Recycled Timeout instances (point 2 in the module docstring).
+        self._free: List[Timeout] = []
+        #: Monotone tie-break counter; plays the reference engine's
+        #: ``_seq`` role but as a C-level counter (only relative order
+        #: matters, and nothing outside the engines reads ``_seq``).
+        self._next_seq: Callable[[], int] = count(1).__next__
+        # Shadow the class-level ``timeout`` with a closure holding the
+        # stable scheduling state in cells (see ``_make_timeout``).
+        self.timeout = self._make_timeout()
+
+    # -- scheduling -------------------------------------------------------
+    # The entry-filing logic below appears three times (here in
+    # ``_schedule``, in ``_push``, and in the ``timeout`` closure)
+    # rather than behind a shared ``_insert`` helper: these are the
+    # per-event paths for *every* wire hop, NIC service slot and wakeup
+    # in a sweep, and the extra call frame measurably costs cluster
+    # workloads.  An entry whose bucket is the *currently draining* one
+    # goes to the ``_pending`` side-heap — its time is >= ``now``, so
+    # it can never land before the drain point.
+
+    def _make_timeout(self) -> Callable[..., Timeout]:
+        """Build this instance's ``timeout`` as a closure.
+
+        ``timeout()`` is the hottest call in the whole repository
+        (~10^7 per sweep), so the stable state — free list, sequence
+        counter, bucket dict, bucket heap — lives in keyword-only
+        parameter defaults (``LOAD_FAST``) instead of instance-dict
+        attribute lookups, and the closure is bound as an *instance*
+        attribute so the call skips method binding too.  Only the
+        genuinely mutable fields (``_now``, ``_pending``,
+        ``_cur_index``) still go through ``self``.
+        """
+        def timeout(delay: float, value: Any = None, *,
+                    _free: Any = self._free,
+                    _free_pop: Any = self._free.pop,
+                    _next_seq: Any = self._next_seq,
+                    _inv_width: float = self._inv_width,
+                    _buckets: Any = self._buckets,
+                    _bucket_get: Any = self._buckets.get,
+                    _bheap: Any = self._bheap,
+                    _new: Any = Timeout.__new__,
+                    _cls: Any = Timeout,
+                    _normal: int = NORMAL,
+                    _push: Any = heappush) -> Timeout:
+            """Create an event firing ``delay`` microseconds from now.
+
+            Identical contract to the reference engine's ``timeout``;
+            the body additionally recycles processed Timeouts and files
+            into the calendar (``_insert`` inlined).  The keyword-only
+            parameters are private pre-bound state — never pass them.
+            """
+            when = self._now + delay
+            try:
+                # ``int(nan)`` raises ValueError and ``int(inf)``
+                # OverflowError, so the index computation doubles as
+                # the non-finite check; only negatives need testing on
+                # the fast path (NaN fails the try block first).
+                index = int(when * _inv_width)
+                if delay < 0.0:
+                    _reject_delay("timeout delay", delay)
+            except (OverflowError, ValueError):
+                if not 0.0 <= delay < _INF:
+                    _reject_delay("timeout delay", delay)
+                index = _FAR_BUCKET  # huge but finite ``when``
+            if _free:
+                # Recycled: ``_ok``/``_scheduled``/``sim`` are
+                # invariantly True/True/self for anything the run
+                # loop's gate let in (``_defused`` may carry a stale
+                # True, which is harmless for a Timeout: they are born
+                # OK and can never fail, so nothing ever reads it), so
+                # only the varying slots reset.
+                event = _free_pop()
+                event.name = ""
+                event.callbacks = []
+                event._value = value
+                event.delay = delay
+            else:
+                event = _new(_cls)
+                event.sim = self
+                event.name = ""
+                event.callbacks = []
+                event._value = value
+                event._ok = True
+                event._scheduled = True
+                event._defused = False
+                event.delay = delay
+            entry = (when, _normal, _next_seq(), event)
+            bucket = _bucket_get(index)
+            if bucket is not None:
+                bucket.append(entry)
+            elif index == self._cur_index:
+                _push(self._pending, entry)
+            else:
+                _buckets[index] = [entry]
+                _push(_bheap, index)
+            return event
+
+        return timeout
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        """Insert a triggered event into the calendar (internal API)."""
+        if not 0.0 <= delay < _INF:
+            _reject_delay("schedule delay", delay)
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        if delay == 0.0 and priority == NORMAL and \
+                self._cur_index is not None:
+            # Zero-delay during an active drain: ``now`` is the time of
+            # the last entry popped from the current bucket and the
+            # ``when -> index`` map is monotone, so the index is
+            # provably ``_cur_index`` — skip the arithmetic, the dict
+            # probe, and both heap passes.
+            self._fifo.append((self._now, NORMAL, self._next_seq(), event))
+            return
+        when = self._now + delay
+        entry = (when, priority, self._next_seq(), event)
+        try:
+            index = int(when * self._inv_width)
+        except OverflowError:
+            index = _FAR_BUCKET
+        bucket = self._buckets.get(index)
+        if bucket is not None:
+            bucket.append(entry)
+        elif index == self._cur_index:
+            heappush(self._pending, entry)
+        else:
+            self._buckets[index] = [entry]
+            heappush(self._bheap, index)
+
+    def _push(self, event: Event, delay: float) -> None:
+        if delay == 0.0 and self._cur_index is not None:
+            # Same provably-current-bucket fast path as ``_schedule``.
+            self._fifo.append((self._now, NORMAL, self._next_seq(), event))
+            return
+        when = self._now + delay
+        entry = (when, NORMAL, self._next_seq(), event)
+        try:
+            index = int(when * self._inv_width)
+        except OverflowError:
+            index = _FAR_BUCKET
+        bucket = self._buckets.get(index)
+        if bucket is not None:
+            bucket.append(entry)
+        elif index == self._cur_index:
+            heappush(self._pending, entry)
+        else:
+            self._buckets[index] = [entry]
+            heappush(self._bheap, index)
+
+    # -- execution --------------------------------------------------------
+    def _refill(self) -> bool:
+        """Promote the nearest future bucket to current.  False if none.
+
+        Only called with ``_cur`` and ``_pending`` both empty.
+        """
+        if not self._bheap:
+            return False
+        index = heappop(self._bheap)
+        cur = self._buckets.pop(index)
+        # Full-tuple sort: compares (time, priority, sequence) exactly
+        # like the reference heap (descending here — the tail is the
+        # next event), and CPython's unsafe_tuple_compare makes the
+        # common time-only comparison a raw float compare.
+        cur.sort(reverse=True)
+        self._cur = cur
+        self._cur_index = index
+        return True
+
+    def _park_current(self) -> None:
+        """Return the un-drained current bucket + side-heap to the dict.
+
+        Needed when ``run(until=...)`` stops on the horizon: ``now`` is
+        forced to ``until``, which may lie in an *earlier* bucket than
+        the current one, and a later schedule from that earlier window
+        must sort before the parked entries.  Bucket lists are unsorted
+        by invariant (sorted on refill), so order here is irrelevant.
+        """
+        leftover = self._cur + self._pending + list(self._fifo)
+        if leftover:
+            # The index cannot collide: same-index schedules go to the
+            # side stores instead of re-creating the dict bucket.
+            self._buckets[self._cur_index] = leftover
+            heappush(self._bheap, self._cur_index)
+        self._cur = []
+        self._pending = []
+        self._fifo = deque()
+        self._cur_index = None
+
+    def _pop_next(self) -> Tuple[float, int, int, Event]:
+        """Remove and return the globally next entry (helper for step).
+
+        Raises RuntimeError when no events are pending.
+        """
+        cur = self._cur
+        pending = self._pending
+        fifo = self._fifo
+        if cur:
+            if fifo and fifo[0] < cur[-1]:
+                if pending and pending[0] < fifo[0]:
+                    return heappop(pending)
+                return fifo.popleft()
+            if pending and pending[0] < cur[-1]:
+                return heappop(pending)
+            return cur.pop()
+        if fifo:
+            if pending and pending[0] < fifo[0]:
+                return heappop(pending)
+            return fifo.popleft()
+        if pending:
+            return heappop(pending)
+        if not self._refill():
+            raise RuntimeError("no events to process")
+        return self._pop_next()
+
+    def step(self) -> None:
+        """Process exactly one event (reference-identical semantics)."""
+        when, _priority, _seq, event = self._pop_next()
+        self._now = when
+        self._event_count += 1
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for callback in callbacks:
+            if callback.__class__ is Process:
+                callback._resume(event)
+            else:
+                callback(event)
+        if event._ok is False and not event._defused:
+            raise event.value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none are pending."""
+        best = _INF
+        if self._cur:
+            best = self._cur[-1][0]
+        if self._fifo and self._fifo[0][0] < best:
+            best = self._fifo[0][0]
+        if self._pending and self._pending[0][0] < best:
+            best = self._pending[0][0]
+        if self._bheap:
+            ahead = min(self._buckets[self._bheap[0]])[0]
+            if ahead < best:
+                best = ahead
+        return best
+
+    def run(self, until: Optional[float] = None,
+            stop_event: Optional[Event] = None) -> Any:
+        """Run until the calendar drains, ``until`` time, or ``stop_event``.
+
+        Same contract, return values and exceptions as the reference
+        engine's ``run``; see the module docstring for what is inlined.
+        """
+        if stop_event is not None:
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            stop_event._defused = True
+            stop_event.add_callback(self._stop_callback)
+        buckets = self._buckets
+        bheap = self._bheap
+        free_append = self._free.append
+        count_ = self._event_count
+        cur = self._cur
+        cur_pop = cur.pop
+        pending = self._pending
+        fifo = self._fifo
+        fifo_pop = fifo.popleft
+        pop = heappop
+        refcount = getrefcount
+        method_type = MethodType
+        resume = _RESUME
+        timeout_class = Timeout
+        process_class = Process
+        # The loops below mirror the reference engine's two unrolled
+        # loops; the structural additions are the bucket refill, the
+        # pending-heap merge, the Timeout-specialised dispatch (points
+        # 2-4 in the module docstring), and the inlined single-waiter
+        # resume.  ``cur`` and ``pending`` stay valid locals across
+        # callbacks: callback-driven inserts mutate them in place
+        # (bucket dict / side-heap pushes) but never rebind the
+        # attributes — the only rebinder is ``_park_current``, which is
+        # immediately followed by the horizon break.
+        try:
+            if until is None:
+                while True:
+                    if cur:
+                        if fifo and fifo[0] < cur[-1]:
+                            if pending and pending[0] < fifo[0]:
+                                entry = pop(pending)
+                            else:
+                                entry = fifo_pop()
+                        elif pending and pending[0] < cur[-1]:
+                            entry = pop(pending)
+                        else:
+                            entry = cur_pop()
+                    elif fifo:
+                        if pending and pending[0] < fifo[0]:
+                            entry = pop(pending)
+                        else:
+                            entry = fifo_pop()
+                    elif pending:
+                        entry = pop(pending)
+                    elif bheap:
+                        index = pop(bheap)
+                        cur = buckets.pop(index)
+                        cur.sort(reverse=True)
+                        cur_pop = cur.pop
+                        self._cur = cur
+                        self._cur_index = index
+                        entry = cur_pop()
+                    else:
+                        break
+                    when, _priority, _seq, event = entry
+                    entry = None  # free the tuple for the recycle gate
+                    self._now = when
+                    count_ += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if event.__class__ is timeout_class:
+                        # Timeouts are born OK and can never fail: the
+                        # ``_ok`` branch and the unhandled-failure test
+                        # below are statically decided for this class.
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            if callback.__class__ is process_class:
+                                # Inline Process._resume for the single
+                                # parked waiter (_waiting_on is cleared
+                                # lazily: the wait path overwrites it).
+                                proc = callback
+                                if event is proc._waiting_on:
+                                    try:
+                                        target = proc._send(event._value)
+                                    except StopIteration as stop:
+                                        proc._waiting_on = None
+                                        proc.succeed(stop.value)
+                                    except BaseException as exc:  # noqa: BLE001
+                                        # simlint: disable=broad-except - any
+                                        # generator death must become a
+                                        # process failure, never a lost
+                                        # exception.
+                                        proc._waiting_on = None
+                                        proc.fail(exc)
+                                    else:
+                                        if (target.__class__ is timeout_class
+                                                and target.sim is self
+                                                and target.callbacks
+                                                is not None):
+                                            # Inline _wait_on for the
+                                            # dominant "yield sim.timeout()"
+                                            # shape.  Parking the Process
+                                            # object (not the bound method)
+                                            # routes the next wakeup back
+                                            # here.
+                                            proc._waiting_on = target
+                                            target.callbacks.append(proc)
+                                        else:
+                                            proc._waiting_on = None
+                                            proc._wait_on(target)
+                            elif (callback.__class__ is method_type
+                                    and callback.__func__ is resume):
+                                # A process's first wait parks the real
+                                # bound method (the generic _wait_on did
+                                # it); same inline body, and the wait
+                                # path re-parks the Process object so
+                                # every later wakeup takes the branch
+                                # above.
+                                proc = callback.__self__
+                                if event is proc._waiting_on:
+                                    try:
+                                        target = proc._send(event._value)
+                                    except StopIteration as stop:
+                                        proc._waiting_on = None
+                                        proc.succeed(stop.value)
+                                    except BaseException as exc:  # noqa: BLE001
+                                        # simlint: disable=broad-except - any
+                                        # generator death must become a
+                                        # process failure, never a lost
+                                        # exception.
+                                        proc._waiting_on = None
+                                        proc.fail(exc)
+                                    else:
+                                        if (target.__class__ is timeout_class
+                                                and target.sim is self
+                                                and target.callbacks
+                                                is not None):
+                                            proc._waiting_on = target
+                                            target.callbacks.append(proc)
+                                        else:
+                                            proc._waiting_on = None
+                                            proc._wait_on(target)
+                            else:
+                                callback(event)
+                        else:
+                            for callback in callbacks:
+                                if callback.__class__ is process_class:
+                                    callback._resume(event)
+                                else:
+                                    callback(event)
+                        if refcount(event) == 2:
+                            # Only our local (plus getrefcount's argument)
+                            # still references it: safe to recycle.  It
+                            # also cannot be the event that just set
+                            # _stop_requested (that slot would hold a
+                            # reference), so skip the stop check.
+                            free_append(event)
+                            continue
+                    else:
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            if callback.__class__ is process_class:
+                                callback._resume(event)
+                            else:
+                                callback(event)
+                        else:
+                            for callback in callbacks:
+                                if callback.__class__ is process_class:
+                                    callback._resume(event)
+                                else:
+                                    callback(event)
+                        if event._ok is False and not event._defused:
+                            raise event.value
+                    if self._stop_requested is not None:
+                        stopped = self._stop_requested
+                        self._stop_requested = None
+                        if stopped._ok is False:
+                            raise stopped.value
+                        return stopped.value
+            else:
+                while True:
+                    # Two-phase take: peek the next entry's source, test
+                    # the horizon, then pop — a horizon break must leave
+                    # the entry in place for a later run() to process.
+                    # source: 0 = cur tail, 1 = pending heap, 2 = fifo
+                    source = 0
+                    if cur:
+                        entry = cur[-1]
+                        if fifo and fifo[0] < entry:
+                            entry = fifo[0]
+                            source = 2
+                        if pending and pending[0] < entry:
+                            entry = pending[0]
+                            source = 1
+                    elif fifo:
+                        entry = fifo[0]
+                        source = 2
+                        if pending and pending[0] < entry:
+                            entry = pending[0]
+                            source = 1
+                    elif pending:
+                        entry = pending[0]
+                        source = 1
+                    elif bheap:
+                        index = pop(bheap)
+                        cur = buckets.pop(index)
+                        cur.sort(reverse=True)
+                        cur_pop = cur.pop
+                        self._cur = cur
+                        self._cur_index = index
+                        entry = cur[-1]
+                    else:
+                        break
+                    when = entry[0]
+                    if when > until:
+                        self._now = until
+                        self._park_current()
+                        cur = self._cur
+                        break
+                    if source == 0:
+                        cur_pop()
+                    elif source == 1:
+                        pop(pending)
+                    else:
+                        fifo_pop()
+                    event = entry[3]
+                    entry = None  # free the tuple for the recycle gate
+                    self._now = when
+                    count_ += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if event.__class__ is timeout_class:
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            if callback.__class__ is process_class:
+                                proc = callback
+                                if event is proc._waiting_on:
+                                    try:
+                                        target = proc._send(event._value)
+                                    except StopIteration as stop:
+                                        proc._waiting_on = None
+                                        proc.succeed(stop.value)
+                                    except BaseException as exc:  # noqa: BLE001
+                                        # simlint: disable=broad-except - any
+                                        # generator death must become a
+                                        # process failure, never a lost
+                                        # exception.
+                                        proc._waiting_on = None
+                                        proc.fail(exc)
+                                    else:
+                                        if (target.__class__ is timeout_class
+                                                and target.sim is self
+                                                and target.callbacks
+                                                is not None):
+                                            proc._waiting_on = target
+                                            target.callbacks.append(proc)
+                                        else:
+                                            proc._waiting_on = None
+                                            proc._wait_on(target)
+                            elif (callback.__class__ is method_type
+                                    and callback.__func__ is resume):
+                                proc = callback.__self__
+                                if event is proc._waiting_on:
+                                    try:
+                                        target = proc._send(event._value)
+                                    except StopIteration as stop:
+                                        proc._waiting_on = None
+                                        proc.succeed(stop.value)
+                                    except BaseException as exc:  # noqa: BLE001
+                                        # simlint: disable=broad-except - any
+                                        # generator death must become a
+                                        # process failure, never a lost
+                                        # exception.
+                                        proc._waiting_on = None
+                                        proc.fail(exc)
+                                    else:
+                                        if (target.__class__ is timeout_class
+                                                and target.sim is self
+                                                and target.callbacks
+                                                is not None):
+                                            proc._waiting_on = target
+                                            target.callbacks.append(proc)
+                                        else:
+                                            proc._waiting_on = None
+                                            proc._wait_on(target)
+                            else:
+                                callback(event)
+                        else:
+                            for callback in callbacks:
+                                if callback.__class__ is process_class:
+                                    callback._resume(event)
+                                else:
+                                    callback(event)
+                        if refcount(event) == 2:
+                            free_append(event)
+                            continue
+                    else:
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            if callback.__class__ is process_class:
+                                callback._resume(event)
+                            else:
+                                callback(event)
+                        else:
+                            for callback in callbacks:
+                                if callback.__class__ is process_class:
+                                    callback._resume(event)
+                                else:
+                                    callback(event)
+                        if event._ok is False and not event._defused:
+                            raise event.value
+                    if self._stop_requested is not None:
+                        stopped = self._stop_requested
+                        self._stop_requested = None
+                        if stopped._ok is False:
+                            raise stopped.value
+                        return stopped.value
+        finally:
+            self._event_count = count_
+        if stop_event is not None:
+            if not (cur or self._fifo or self._pending or bheap):
+                raise StalledError(
+                    f"event heap drained at t={self._now} with "
+                    f"{stop_event!r} still pending")
+            raise TimeoutError(
+                f"simulation ended at t={self._now} before "
+                f"{stop_event!r} triggered")
+        if until is not None and self._now < until:
+            # Every store drained before the horizon: advance the clock
+            # and drop the current-bucket claim — ``now`` may no longer
+            # lie in that bucket, and the zero-delay fast paths in
+            # ``_schedule``/``_push`` rely on ``_cur_index`` tracking it.
+            self._now = until
+            self._cur_index = None
+        return None
