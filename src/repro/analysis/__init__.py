@@ -11,14 +11,17 @@ linter.  See :mod:`repro.analysis.core` for the engine,
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.cli import main
-from repro.analysis.core import (Finding, Rule, SourceFile, all_rules,
-                                 analyze_file, analyze_paths,
+from repro.analysis.core import (Finding, Frame, Rule, SourceFile,
+                                 all_rules, analyze_file, analyze_paths,
                                  analyze_source, default_rules,
-                                 register_rule)
+                                 load_source, register_rule)
+from repro.analysis.flow import (DEFAULT_FLOW_BASELINE_NAME, FLOW_RULES,
+                                 analyze_program, build_program)
 
 __all__ = [
-    "Finding", "Rule", "SourceFile", "Baseline",
-    "DEFAULT_BASELINE_NAME", "all_rules", "default_rules",
-    "register_rule", "analyze_file", "analyze_paths", "analyze_source",
-    "main",
+    "Finding", "Frame", "Rule", "SourceFile", "Baseline",
+    "DEFAULT_BASELINE_NAME", "DEFAULT_FLOW_BASELINE_NAME", "FLOW_RULES",
+    "all_rules", "default_rules", "register_rule", "analyze_file",
+    "analyze_paths", "analyze_program", "analyze_source",
+    "build_program", "load_source", "main",
 ]

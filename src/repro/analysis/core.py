@@ -30,9 +30,10 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 __all__ = [
-    "Finding", "SourceFile", "Rule", "register_rule", "all_rules",
-    "default_rules", "analyze_file", "analyze_paths", "dotted_name",
-    "walk_scope", "scope_functions", "PARSE_ERROR_RULE",
+    "Finding", "Frame", "SourceFile", "Rule", "register_rule",
+    "all_rules", "default_rules", "analyze_file", "analyze_paths",
+    "dotted_name", "walk_scope", "scope_functions", "load_source",
+    "parse_cache_stats", "clear_parse_cache", "PARSE_ERROR_RULE",
 ]
 
 #: Pseudo-rule id attached to findings for unparseable files.
@@ -50,6 +51,22 @@ _ALL = "all"
 
 
 @dataclasses.dataclass(frozen=True)
+class Frame:
+    """One hop of an interprocedural call chain (simflow findings)."""
+
+    path: str
+    line: int
+    function: str
+
+    def render(self) -> str:
+        return f'  File "{self.path}", line {self.line}, in {self.function}'
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line,
+                "function": self.function}
+
+
+@dataclasses.dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -61,17 +78,26 @@ class Finding:
     message: str
     #: Last physical line of the offending statement (suppression scope).
     end_line: int = 0
+    #: Interprocedural witness: the call chain from the reported site
+    #: down to the intrinsic effect, rendered like a traceback.
+    chain: Tuple[Frame, ...] = ()
 
     def render(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col}: "
+        head = (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.severity} [{self.rule}] {self.message}")
+        if not self.chain:
+            return head
+        return "\n".join([head] + [frame.render() for frame in self.chain])
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "path": self.path, "line": self.line, "col": self.col,
             "rule": self.rule, "severity": self.severity,
             "message": self.message,
         }
+        if self.chain:
+            data["chain"] = [frame.to_dict() for frame in self.chain]
+        return data
 
     def fingerprint(self, source: Optional["SourceFile"] = None) -> str:
         """Content-addressed identity for the baseline: path + rule +
@@ -254,6 +280,46 @@ def scope_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
             yield node
 
 
+# -- parse cache ------------------------------------------------------------
+#
+# Parsing + tokenizing dominates lint time, and a ``--deep`` run needs
+# every file twice: once for the per-file rules and once for the
+# whole-program flow summaries.  The cache keys on (display path,
+# content hash) so both consumers share one AST/tokenize pass per file
+# content, and stale entries die naturally when the file changes.
+
+_SOURCE_CACHE: Dict[Tuple[str, str], "SourceFile"] = {}
+_SOURCE_CACHE_MAX = 2048
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def load_source(path: Path, display: Optional[str] = None) -> SourceFile:
+    """A (possibly cached) parsed ``SourceFile`` for an on-disk file."""
+    name = display if display is not None else str(path)
+    text = path.read_text(encoding="utf-8")
+    key = (name, hashlib.sha256(text.encode()).hexdigest())
+    cached = _SOURCE_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["hits"] += 1
+        return cached
+    _CACHE_STATS["misses"] += 1
+    source = SourceFile(name, text)
+    if len(_SOURCE_CACHE) >= _SOURCE_CACHE_MAX:
+        _SOURCE_CACHE.clear()
+    _SOURCE_CACHE[key] = source
+    return source
+
+
+def parse_cache_stats() -> Dict[str, int]:
+    """``{"hits": ..., "misses": ...}`` counters (for the perf smoke)."""
+    return dict(_CACHE_STATS)
+
+
+def clear_parse_cache() -> None:
+    _SOURCE_CACHE.clear()
+    _CACHE_STATS["hits"] = _CACHE_STATS["misses"] = 0
+
+
 # -- driver -----------------------------------------------------------------
 
 def analyze_file(path: Path, rules: Sequence[Rule],
@@ -261,7 +327,7 @@ def analyze_file(path: Path, rules: Sequence[Rule],
     """All unsuppressed findings for one file, sorted by location."""
     display = str(path if root is None else path.relative_to(root))
     try:
-        source = SourceFile(display, path.read_text(encoding="utf-8"))
+        source = load_source(path, display)
     except (OSError, UnicodeDecodeError) as exc:
         return [Finding(display, 1, 1, PARSE_ERROR_RULE, "error",
                         f"unreadable file: {exc}")]

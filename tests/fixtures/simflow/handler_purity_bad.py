@@ -1,0 +1,22 @@
+"""Planted defect: a registered AM handler reaches a banned blocking
+primitive (``am.rpc``) through two helper calls.  simlint's
+handler-purity rule only inspects the handler's own body, where every
+call looks innocent."""
+
+
+def _lookup_remote(am, key):
+    return am.rpc(0, "cache-peer", key)
+
+
+def _resolve(am, packet):
+    value = yield from _lookup_remote(am, packet.payload)
+    return value
+
+
+def _cache_handler(am, packet):
+    value = yield from _resolve(am, packet)   # BUG: blocks in handler
+    yield from am.reply(packet, value)
+
+
+def install(table):
+    table.register("cache-get", _cache_handler)

@@ -1,0 +1,18 @@
+"""Twin of handler_purity_bad.py: the handler computes locally and
+answers through a reply-only helper, which is allowed at any depth."""
+
+
+def _format(packet):
+    return ("ok", packet.payload)
+
+
+def _reply_helper(am, packet):
+    yield from am.reply(packet, _format(packet))
+
+
+def _cache_handler(am, packet):
+    yield from _reply_helper(am, packet)
+
+
+def install(table):
+    table.register("cache-get", _cache_handler)

@@ -1,0 +1,21 @@
+"""Planted defect: only rank 0 reaches an allreduce, two call edges
+below a rank guard.  simlint's rank-dependent-collective rule looks for
+collective *names* inside the branch; ``_publish(proc, value)`` hides
+the collective from it."""
+
+
+def _share(proc, value):
+    total = yield from proc.allreduce(value)
+    return total
+
+
+def _publish(proc, value):
+    result = yield from _share(proc, value)
+    return result
+
+
+def run_rank(proc):
+    value = yield from proc.compute(5)
+    if proc.rank == 0:
+        yield from _publish(proc, value)   # BUG: other ranks never join
+    yield from proc.barrier()

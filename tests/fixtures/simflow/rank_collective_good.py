@@ -1,0 +1,23 @@
+"""Twin of rank_collective_bad.py: both branches reach the same
+collective kind through *different* helpers — the balanced-both-sides
+exemption must propagate across call edges."""
+
+
+def _sync(proc):
+    yield from proc.barrier()
+
+
+def _even_side(proc):
+    yield from _sync(proc)
+
+
+def _odd_side(proc):
+    yield from _sync(proc)
+
+
+def run_rank(proc):
+    yield from proc.compute(5)
+    if proc.rank % 2 == 0:
+        yield from _even_side(proc)
+    else:
+        yield from _odd_side(proc)

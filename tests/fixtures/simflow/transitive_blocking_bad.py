@@ -1,0 +1,17 @@
+"""Planted defect: a generator drops a call whose callee blocks two
+call edges down.  simlint's unyielded-blocking-call rule only matches
+direct runtime-primitive patterns, so ``_finish_phase(proc)`` passes it
+— only the interprocedural summary sees the blocking reach."""
+
+
+def _flush_remote(proc):
+    yield from proc.am.drain()
+
+
+def _finish_phase(proc):
+    yield from _flush_remote(proc)
+
+
+def run_rank(proc):
+    yield from proc.compute(10)
+    _finish_phase(proc)   # BUG: blocking generator silently discarded

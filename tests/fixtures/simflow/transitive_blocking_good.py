@@ -1,0 +1,14 @@
+"""Twin of transitive_blocking_bad.py with the delegation restored."""
+
+
+def _flush_remote(proc):
+    yield from proc.am.drain()
+
+
+def _finish_phase(proc):
+    yield from _flush_remote(proc)
+
+
+def run_rank(proc):
+    yield from proc.compute(10)
+    yield from _finish_phase(proc)

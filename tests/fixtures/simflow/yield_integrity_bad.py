@@ -1,0 +1,18 @@
+"""Planted defect: a plain (non-generator) helper drops a blocking
+generator it cannot drive, two call edges below the entry point.
+simlint skips non-generator functions entirely, so ``_shutdown`` passes
+it unseen."""
+
+
+def _drain_queue(proc):
+    yield from proc.am.drain()
+
+
+def _shutdown(proc, log):
+    log.append("shutdown")
+    _drain_queue(proc)   # BUG: not a generator, cannot yield from
+
+
+def run_rank(proc, log):
+    yield from proc.compute(1)
+    _shutdown(proc, log)

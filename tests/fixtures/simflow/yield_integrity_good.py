@@ -1,0 +1,16 @@
+"""Twin of yield_integrity_bad.py: the helper became a generator and
+every edge of the chain delegates."""
+
+
+def _drain_queue(proc):
+    yield from proc.am.drain()
+
+
+def _shutdown(proc, log):
+    log.append("shutdown")
+    yield from _drain_queue(proc)
+
+
+def run_rank(proc, log):
+    yield from proc.compute(1)
+    yield from _shutdown(proc, log)
