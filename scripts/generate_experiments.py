@@ -11,15 +11,26 @@ sweep points are memoised in the on-disk run cache (``~/.cache/repro``
 unless ``REPRO_CACHE_DIR`` / ``--cache-dir`` says otherwise), so
 re-running the script only simulates configurations it has never seen.
 
+Campaign mode (``--campaign NAME --store DB``) instead drives the
+sensitivity grid through the resumable campaign manager: points land in
+a sqlite result store as they finish, a killed run resumes exactly
+where it stopped, and the figure artifacts are generated *from the
+store* — no point is ever simulated twice.  A per-campaign
+``BENCH_*.json`` records points/sec, store hits, and resume statistics.
+
 Usage:
     python scripts/generate_experiments.py [--scale 0.5] [--out EXPERIMENTS.md]
         [--jobs N] [--no-cache] [--cache-dir DIR] [--apps Radix,Sample,...]
         [--engine heap|calendar] [--profile]
+    python scripts/generate_experiments.py --campaign nightly \\
+        --store results.sqlite [--dials overhead,gap] [--bench-out B.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 
@@ -78,6 +89,72 @@ def fmt(value, digits=2):
     return f"{value:.{digits}f}"
 
 
+#: The reduced sensitivity grids the EXPERIMENTS report sweeps, dial →
+#: value sequence (baseline first) — shared by the classic path and
+#: campaign mode so their points are cache-compatible.
+SWEEP_GRIDS = {
+    "overhead": (2.9, 12.9, 52.9, 102.9),
+    "gap": (5.8, 15.0, 55.0, 105.0),
+    "latency": (5.0, 15.0, 55.0, 105.0),
+    "bulk_mb_s": (38.0, 15.0, 10.0, 5.5, 1.0),
+    "drop_rate": (0.0, 0.005, 0.02),
+}
+
+
+def run_campaign_mode(args, cache, selected) -> int:
+    """Drive the sensitivity grid through the resumable campaign manager.
+
+    Two sub-campaigns mirror the classic report's sweep sections:
+    ``<name>/p16`` runs the overhead dial at 16 nodes (Figure 5a) and
+    ``<name>/p32`` runs every selected dial at 32 nodes (Figures
+    5b-9).  Both resume from ``--store``; artifacts are then generated
+    from the store alone, so an interrupted-and-resumed invocation
+    writes byte-identical output to an uninterrupted one.
+    """
+    from repro.apps import SUITE_ORDER
+    from repro.harness.campaign import (CampaignSpec, _merge_reports,
+                                        render_campaign, run_campaign)
+    from repro.harness.store import ResultStore
+
+    apps = tuple(selected) if selected is not None else SUITE_ORDER
+    dials = [d.strip() for d in args.dials.split(",") if d.strip()]
+    unknown = [d for d in dials if d not in SWEEP_GRIDS]
+    if unknown:
+        print(f"unknown dials {unknown}; one of {sorted(SWEEP_GRIDS)}",
+              file=sys.stderr)
+        return 2
+    specs = []
+    if "overhead" in dials:
+        specs.append(CampaignSpec(
+            name=f"{args.campaign}/p16", apps=apps, node_counts=(16,),
+            dials=(("overhead", SWEEP_GRIDS["overhead"]),),
+            scale=args.scale, engine=args.engine))
+    specs.append(CampaignSpec(
+        name=f"{args.campaign}/p32", apps=apps, node_counts=(32,),
+        dials=tuple((dial, SWEEP_GRIDS[dial]) for dial in dials),
+        scale=args.scale, engine=args.engine))
+
+    with ResultStore(args.store) as store:
+        reports = [run_campaign(spec, store, cache=cache,
+                                jobs=max(1, args.jobs), progress=print)
+                   for spec in specs]
+        report = _merge_reports(args.campaign, reports)
+        text = render_campaign(specs, store)
+        print(store.describe())
+
+    out = pathlib.Path(args.out)
+    out.write_text(text)
+    bench_path = pathlib.Path(args.bench_out) if args.bench_out else \
+        out.parent / f"BENCH_campaign_{args.campaign.replace('/', '_')}.json"
+    bench_path.write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    message = f"wrote {out} and {bench_path} [{report.describe()}]"
+    if cache is not None:
+        message += f" [{cache.describe()}]"
+    print(message)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=0.5)
@@ -102,6 +179,20 @@ def main(argv=None) -> int:
                         help="cProfile execute_point and dump the top 25 "
                         "cumulative entries per experiment to stderr "
                         "(forces --jobs 1)")
+    parser.add_argument("--campaign", default=None, metavar="NAME",
+                        help="run the sensitivity grid as a resumable "
+                        "campaign of this name and build the artifacts "
+                        "from the result store (needs --store)")
+    parser.add_argument("--store", default=None,
+                        help="sqlite result store for --campaign")
+    parser.add_argument("--dials", default="overhead,gap,latency,"
+                        "bulk_mb_s,drop_rate",
+                        help="comma-separated dials for --campaign "
+                        "(default: all five)")
+    parser.add_argument("--bench-out", default=None,
+                        help="--campaign: path for the BENCH JSON "
+                        "(default BENCH_campaign_<name>.json next to "
+                        "--out)")
     args = parser.parse_args(argv)
     if args.engine is not None:
         # Before any pools: forked sweep workers inherit the default.
@@ -115,6 +206,11 @@ def main(argv=None) -> int:
     selected = None if args.apps is None else \
         [name.strip() for name in args.apps.split(",") if name.strip()]
 
+    if args.campaign is not None:
+        if args.store is None:
+            parser.error("--campaign needs --store")
+        return run_campaign_mode(args, cache, selected)
+
     def pick(*names):
         """Intersect a hard-coded app list with the --apps selection."""
         if selected is None:
@@ -127,11 +223,11 @@ def main(argv=None) -> int:
     # experiment-level pool active, inner sweeps stay serial (jobs=1)
     # to avoid nested pools.
     sweep_kwargs = {"names": selected, "cache": cache}
-    overheads = (2.9, 12.9, 52.9, 102.9)
-    gaps = (5.8, 15.0, 55.0, 105.0)
-    latencies = (5.0, 15.0, 55.0, 105.0)
-    bandwidths = (38.0, 15.0, 10.0, 5.5, 1.0)
-    drop_rates = (0.0, 0.005, 0.02)
+    overheads = SWEEP_GRIDS["overhead"]
+    gaps = SWEEP_GRIDS["gap"]
+    latencies = SWEEP_GRIDS["latency"]
+    bandwidths = SWEEP_GRIDS["bulk_mb_s"]
+    drop_rates = SWEEP_GRIDS["drop_rate"]
     requests = [
         ("table1_baseline_params", {}),
         ("figure3_signature", {"desired_gap": 14.0}),

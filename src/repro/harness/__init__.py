@@ -9,6 +9,10 @@
   and whole experiments (bit-identical to serial execution).
 * :mod:`repro.harness.runcache` -- content-addressed on-disk cache of
   completed runs, so regenerating artifacts skips known points.
+* :mod:`repro.harness.store` / :mod:`repro.harness.campaign` -- the
+  sqlite result store and the resumable campaign manager layered on
+  the cache: argument-product specs, crash-safe execution, and
+  query-side artifact generation.
 * :mod:`repro.harness.experiments` -- one entry point per table/figure
   of the paper's evaluation.
 * :mod:`repro.harness.report` -- ASCII tables and line plots.
@@ -22,6 +26,11 @@ from repro.harness.sweeps import (SweepPoint, SweepResult, run_sweep,
 from repro.harness.parallel import (run_sweep_parallel,
                                     run_experiments_parallel)
 from repro.harness.runcache import RunCache
+from repro.harness.store import ResultStore
+from repro.harness.campaign import (CampaignSpec, CampaignReport,
+                                    CampaignInterrupted, run_campaign,
+                                    sweep_from_store, figure_from_store,
+                                    render_campaign)
 from repro.harness.report import ascii_plot, render_table
 from repro.harness.config import ExperimentConfig
 from repro.harness.surface import sensitivity_surface, overhead_gap_surface
@@ -32,7 +41,10 @@ __all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
            "run_sweep", "overhead_sweep", "gap_sweep", "latency_sweep",
            "bulk_bandwidth_sweep", "fault_sweep", "spike_decay_sweep",
            "run_sweep_parallel",
-           "run_experiments_parallel", "RunCache", "ascii_plot",
+           "run_experiments_parallel", "RunCache", "ResultStore",
+           "CampaignSpec", "CampaignReport", "CampaignInterrupted",
+           "run_campaign", "sweep_from_store", "figure_from_store",
+           "render_campaign", "ascii_plot",
            "render_table", "ExperimentConfig", "sensitivity_surface",
            "overhead_gap_surface", "write_rows_csv", "write_matrix_csv",
            "write_series_csv"]

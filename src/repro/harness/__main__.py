@@ -8,11 +8,22 @@ Usage::
 
 Each artifact is printed and, with ``--out``, also written to
 ``<out>/<artifact>.txt``.
+
+Campaign mode runs (or resumes) a :mod:`repro.harness.campaign` spec
+from a JSON file against a sqlite result store instead::
+
+    python -m repro.harness --campaign spec.json --store results.sqlite
+    python -m repro.harness --campaign spec.json --store results.sqlite \\
+        --render campaign.md --bench-out BENCH_campaign.json
+
+Killing a campaign mid-run loses nothing: every completed point is
+already in the store, and the same command resumes where it stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -59,6 +70,30 @@ def _surface(nodes, scale):
     return overhead_gap_surface(n_nodes=min(nodes, 16), scale=scale)
 
 
+def run_campaign_cli(args) -> int:
+    """The ``--campaign`` mode: run/resume a spec file against a store."""
+    from repro.harness import RunCache
+    from repro.harness.campaign import (CampaignSpec, render_campaign,
+                                        run_campaign)
+    from repro.harness.store import ResultStore
+
+    spec = CampaignSpec.from_json(args.campaign.read_text())
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    with ResultStore(args.store) as store:
+        report = run_campaign(spec, store, cache=cache, jobs=args.jobs,
+                              progress=print)
+        print(store.describe())
+        if args.bench_out is not None:
+            args.bench_out.write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                + "\n")
+            print(f"wrote {args.bench_out}")
+        if args.render is not None:
+            args.render.write_text(render_campaign([spec], store))
+            print(f"wrote {args.render}")
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments, regenerate the selected artifacts."""
     parser = argparse.ArgumentParser(
@@ -73,7 +108,31 @@ def main(argv=None) -> int:
     parser.add_argument("--only", nargs="*", default=None,
                         choices=sorted(ARTIFACTS),
                         help="subset of artifacts to regenerate")
+    campaign = parser.add_argument_group("campaign mode")
+    campaign.add_argument("--campaign", type=pathlib.Path, default=None,
+                          help="run/resume a CampaignSpec JSON file "
+                          "instead of regenerating artifacts")
+    campaign.add_argument("--store", type=pathlib.Path, default=None,
+                          help="sqlite result store path (campaign mode)")
+    campaign.add_argument("--jobs", type=int, default=None,
+                          help="campaign worker processes "
+                          "(default: one per core)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="campaign mode: skip the on-disk run cache")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="run cache directory (default "
+                          "~/.cache/repro or $REPRO_CACHE_DIR)")
+    campaign.add_argument("--render", type=pathlib.Path, default=None,
+                          help="write store-generated campaign artifacts "
+                          "to this markdown file")
+    campaign.add_argument("--bench-out", type=pathlib.Path, default=None,
+                          help="write the campaign's BENCH JSON here")
     args = parser.parse_args(argv)
+
+    if args.campaign is not None:
+        if args.store is None:
+            parser.error("--campaign needs --store")
+        return run_campaign_cli(args)
 
     selected = args.only if args.only else list(ARTIFACTS)
     if args.out is not None:

@@ -18,13 +18,18 @@ at two granularities:
 Both layers consult an optional :class:`~repro.harness.runcache.
 RunCache` so previously computed points are never re-simulated; cache
 probing happens in the parent, and only misses are shipped to workers.
+Each computed point is cached the moment its future completes (not
+after the whole batch), so an interrupted sweep — crash, Ctrl-C, or a
+raising worker — keeps every point that finished; the rerun serves
+them as hits and resimulates only the lost ones.  The campaign layer
+(:mod:`repro.harness.campaign`) builds its resume contract on this.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -189,22 +194,46 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                 continue
         pending.append(index)
 
+    def finish(index: int, point: SweepPoint) -> None:
+        """Record one computed point and persist it *immediately*.
+
+        Caching per point (not after the whole batch, as this engine
+        once did) is what makes an interrupted sweep resumable: a
+        crash, Ctrl-C, or one raising worker no longer discards every
+        point that had already finished — the rerun serves them as
+        cache hits and only simulates the genuinely lost ones.
+        """
+        points[index] = point
+        if cache is not None:
+            cache.put(tasks[index].key_spec(),
+                      result=point.result, failure=point.failure)
+
     workers = jobs if jobs is not None else 1
     if pending and workers > 1:
         with _pool(min(workers, len(pending))) as pool:
-            computed = list(pool.map(execute_point,
-                                     [tasks[i] for i in pending]))
-        for index, point in zip(pending, computed):
-            points[index] = point
+            futures = {pool.submit(execute_point, tasks[index]): index
+                       for index in pending}
+            # as_completed (not pool.map) so every finished point is
+            # cached even when a later future fails: a worker killed
+            # mid-task breaks the whole pool, and an exception that
+            # escapes execute_point's failure taxonomy aborts the
+            # sweep — either way the completed points must survive.
+            error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    point = future.result()
+                # Deferred, not swallowed: the first failure is re-raised
+                # after the drain, once every completed point is cached.
+                except BaseException as exc:  # simlint: disable=broad-except
+                    if error is None:
+                        error = exc
+                    continue
+                finish(futures[future], point)
+            if error is not None:
+                raise error
     else:
         for index in pending:
-            points[index] = execute_point(tasks[index])
-
-    if cache is not None:
-        for index in pending:
-            point = points[index]
-            cache.put(tasks[index].key_spec(),
-                      result=point.result, failure=point.failure)
+            finish(index, execute_point(tasks[index]))
 
     sweep = SweepResult(app_name=app.name, n_nodes=n_nodes,
                         parameter=parameter)

@@ -26,7 +26,9 @@ import hashlib
 import inspect
 import json
 import os
+import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -108,6 +110,43 @@ def run_key_spec(app: Any, n_nodes: int,
     }
 
 
+#: The default ``object.__repr__`` (and most repr-less wrappers) embeds
+#: the instance's memory address: ``<pkg.Thing object at 0x7f3a...>``.
+#: Such a repr differs on every process, so a key derived from it would
+#: never hit across workers or sessions — a silent 100% cache miss.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+\b")
+
+#: JSON-native leaf types (serialized directly, never via ``repr``).
+_JSON_LEAVES = (str, int, float, bool, type(None))
+
+
+def _find_address_repr(value: Any, path: str) -> Optional[Tuple[str, str]]:
+    """The spec path of the first value whose repr embeds an address.
+
+    Walks the spec the way ``json.dumps(..., default=repr)`` serializes
+    it: dicts and sequences recurse; any other leaf is keyed by its
+    ``repr``.  Returns ``(path, repr)`` of the first offender, or None.
+    """
+    if isinstance(value, dict):
+        for key, item in value.items():
+            found = _find_address_repr(item, f"{path}.{key}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            found = _find_address_repr(item, f"{path}[{index}]")
+            if found is not None:
+                return found
+        return None
+    if isinstance(value, _JSON_LEAVES):
+        return None
+    text = repr(value)
+    if _ADDRESS_REPR.search(text):
+        return path, text
+    return None
+
+
 class RunCache:
     """Content-addressed store of run outcomes (results and failures)."""
 
@@ -122,8 +161,25 @@ class RunCache:
     # -- keys --------------------------------------------------------------
     @staticmethod
     def key_for(spec: Dict[str, Any]) -> str:
-        """SHA-256 of the canonical (sorted, repr-defaulted) spec JSON."""
+        """SHA-256 of the canonical (sorted, repr-defaulted) spec JSON.
+
+        Raises :class:`ValueError` when a spec value falls back to a
+        repr that embeds a memory address (``<... object at 0x...>``):
+        such a key differs on every process, so every lookup would be a
+        silent miss.  Give the offending object a stable ``__repr__``
+        (or pass JSON-native configuration) instead.
+        """
         canonical = json.dumps(spec, sort_keys=True, default=repr)
+        if _ADDRESS_REPR.search(canonical):
+            found = _find_address_repr(spec, "spec")
+            if found is not None:
+                path, text = found
+                raise ValueError(
+                    f"cache key-spec value at {path} has an "
+                    f"address-bearing repr ({text!r}); its key would "
+                    "differ on every process (silent 100% cache miss) "
+                    "— give it a stable __repr__ or use JSON-native "
+                    "values")
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:
@@ -186,12 +242,44 @@ class RunCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Also removes orphaned ``*.tmp`` files left behind by workers
+        killed between ``mkstemp`` and the atomic rename — without
+        this they accumulate forever (entries only ever land as
+        ``*.json``).
+        """
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink()
-                removed += 1
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue  # concurrent clear / rename race
+                    removed += 1
+        return removed
+
+    def sweep_stale_tmps(self, older_than_s: float = 3600.0) -> int:
+        """Remove orphaned ``*.tmp`` files; returns the number removed.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` leaves
+        its temp file behind.  Only files older than ``older_than_s``
+        are swept so a concurrent worker mid-``put`` is never raced;
+        the campaign runner calls this on start, when no sibling
+        workers of *this* campaign exist yet.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        cutoff = time.time() - older_than_s
+        for path in self.root.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # vanished under us (concurrent sweep/rename)
         return removed
 
     def describe(self) -> str:

@@ -26,6 +26,7 @@ __all__ = ["SweepPoint", "SweepResult", "FAILURE_CATEGORIES",
            "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
            "fault_sweep", "spike_decay_sweep", "NO_SPIKE",
            "collective_sweep", "COLLECTIVE_SWEEP_DIALS",
+           "knob_factory", "MACHINE_DIALS",
            "PAPER_OVERHEADS", "PAPER_GAPS", "PAPER_LATENCIES",
            "PAPER_BANDWIDTHS", "FAULT_DROP_RATES"]
 
@@ -143,6 +144,37 @@ class SweepResult:
                 "failure": point.failure_category or "",
             })
         return rows
+
+
+#: The four machine dials of the paper's apparatus, i.e. every
+#: ``parameter`` :func:`knob_factory` can map to knob constructors.
+MACHINE_DIALS = ("overhead", "gap", "latency", "bulk_mb_s")
+
+
+def knob_factory(parameter: str,
+                 params: Optional[LogGPParams] = None
+                 ) -> Callable[[float], TuningKnobs]:
+    """value → :class:`TuningKnobs` for one of the paper's four dials.
+
+    The single source of the dial semantics used by the Figure 5-8
+    sweeps, :func:`collective_sweep`, and the campaign manager's
+    argument products: dialed values are *absolute* targets (µs, or
+    MB/s for ``bulk_mb_s``), turned into added-delta knobs against the
+    ``params`` baseline.
+    """
+    params = params if params is not None else LogGPParams.berkeley_now()
+    if parameter == "overhead":
+        return lambda o: TuningKnobs.added_overhead(
+            max(0.0, o - params.overhead))
+    if parameter == "gap":
+        return lambda g: TuningKnobs.added_gap(max(0.0, g - params.gap))
+    if parameter == "latency":
+        return lambda L: TuningKnobs.added_latency(
+            max(0.0, L - params.latency))
+    if parameter == "bulk_mb_s":
+        return lambda mb: TuningKnobs.bulk_bandwidth(mb, params)
+    raise ValueError(
+        f"parameter must be one of {MACHINE_DIALS}, got {parameter!r}")
 
 
 def run_sweep(app: Application, n_nodes: int, parameter: str,
@@ -287,10 +319,9 @@ def spike_decay_sweep(app: Application, n_nodes: int,
         lambda _start: TuningKnobs(), fault_for=fault_for, **kwargs)
 
 
-#: The dial each :func:`collective_sweep` point can move, with its
-#: knob constructor (value → :class:`TuningKnobs`, given baseline
-#: params).  Mirrors the four figure sweeps above.
-COLLECTIVE_SWEEP_DIALS = ("overhead", "gap", "latency", "bulk_mb_s")
+#: The dial each :func:`collective_sweep` point can move.  Mirrors the
+#: four figure sweeps above (see :func:`knob_factory`).
+COLLECTIVE_SWEEP_DIALS = MACHINE_DIALS
 
 
 def collective_sweep(primitive: str, n_nodes: int,
@@ -315,22 +346,7 @@ def collective_sweep(primitive: str, n_nodes: int,
     """
     from repro.coll.bench import CollectiveBench
     params = params or LogGPParams.berkeley_now()
-    if parameter == "overhead":
-        def knob_for(o):
-            return TuningKnobs.added_overhead(max(0.0, o - params.overhead))
-    elif parameter == "gap":
-        def knob_for(g):
-            return TuningKnobs.added_gap(max(0.0, g - params.gap))
-    elif parameter == "latency":
-        def knob_for(L):
-            return TuningKnobs.added_latency(max(0.0, L - params.latency))
-    elif parameter == "bulk_mb_s":
-        def knob_for(mb):
-            return TuningKnobs.bulk_bandwidth(mb, params)
-    else:
-        raise ValueError(
-            f"parameter must be one of {COLLECTIVE_SWEEP_DIALS}, "
-            f"got {parameter!r}")
+    knob_for = knob_factory(parameter, params)
     app = CollectiveBench(primitive, algo=algo, size=size, bulk=bulk,
                           iterations=iterations)
     return run_sweep(app, n_nodes, parameter, values, knob_for,
