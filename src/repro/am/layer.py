@@ -85,7 +85,8 @@ class AmLayer:
                  stats: Optional["ClusterStats"] = None,
                  tracer: Optional["MessageTracer"] = None,  # noqa: F821
                  faults: Optional["FaultPlan"] = None,  # noqa: F821
-                 sanitizer: Optional["Sanitizer"] = None) -> None:  # noqa: F821
+                 sanitizer: Optional["Sanitizer"] = None,  # noqa: F821
+                 recorder: Optional["DepRecorder"] = None) -> None:  # noqa: F821
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         if window_scope not in ("per-destination", "global"):
@@ -100,6 +101,10 @@ class AmLayer:
         self.stats = stats
         self.tracer = tracer
         self.sanitizer = sanitizer
+        #: simcost dependency recorder (see :mod:`repro.cost.recorder`).
+        #: Observation-only, like the tracer and sanitizer: its hooks
+        #: charge no simulated time, so recorded runs stay bit-identical.
+        self.recorder = recorder
         #: Flow control is per destination endpoint, as in GAM: ``window``
         #: outstanding requests per (src, dst) pair.  A single-partner
         #: exchange (the calibration microbenchmark) is throttled to
@@ -212,6 +217,9 @@ class AmLayer:
             # The happens-before edge of this delivery: join the
             # sender's piggybacked snapshot into this rank's clock.
             self.sanitizer.on_deliver(self.node_id, packet.clock)
+        if self.recorder is not None:
+            self.recorder.on_recv(self.node_id, packet, self.sim.now,
+                                  self._recv_cost)
         if packet.kind is PacketKind.REQUEST or (
                 packet.kind is PacketKind.BULK_FRAGMENT
                 and not packet.is_reply):
@@ -279,7 +287,15 @@ class AmLayer:
                 if self._rx_queue:
                     yield from self._service(self._rx_queue.popleft())
                     continue
-                yield self._arm_wakeup()
+                if self.recorder is None:
+                    yield self._arm_wakeup()
+                else:
+                    # Same yield, bracketed by two now-reads: the parked
+                    # interval becomes the next event's blocked time.
+                    parked_at = self.sim.now
+                    yield self._arm_wakeup()
+                    self.recorder.on_blocked(self.node_id,
+                                             self.sim.now - parked_at)
         finally:
             if watched:
                 self.sanitizer.on_wait_exit(self.node_id)
@@ -322,6 +338,9 @@ class AmLayer:
             self.tracer.record("sent", packet.xfer_id, self.sim.now,
                                src=packet.src, dst=packet.dst,
                                kind=packet.kind.value)
+        if self.recorder is not None:
+            self.recorder.on_send(self.node_id, packet, self.sim.now,
+                                  self._send_cost)
 
     def _guard_not_in_handler(self, operation: str) -> None:
         if self._current_request is not None:

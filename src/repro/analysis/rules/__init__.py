@@ -1,5 +1,6 @@
 """The shipped rule packs; importing this module registers them all."""
 
-from repro.analysis.rules import determinism, hygiene, spmd  # noqa: F401
+from repro.analysis.rules import (determinism, dialcost,  # noqa: F401
+                                  hygiene, spmd)
 
-__all__ = ["determinism", "spmd", "hygiene"]
+__all__ = ["determinism", "dialcost", "spmd", "hygiene"]

@@ -216,13 +216,35 @@ class Cluster:
 
     # -- running applications -------------------------------------------------
     def run(self, app: "Application",
-            tracer: Optional["MessageTracer"] = None  # noqa: F821
+            tracer: Optional["MessageTracer"] = None,  # noqa: F821
+            recorder: Optional["DepRecorder"] = None  # noqa: F821
             ) -> RunResult:
         """Execute ``app`` once on this configuration.
 
         Passing a :class:`~repro.instruments.trace.MessageTracer`
         records every message's send/inject/deliver/handle timeline.
+        Passing a :class:`~repro.cost.recorder.DepRecorder` captures
+        the run's communication dependency DAG for simcost — strictly
+        observation-only, so the run stays bit-identical (and, like
+        ``tracer`` and ``sanitize``, the recorder is never part of the
+        run-cache key space).
         """
+        if recorder is not None:
+            # The replay model (repro.cost.predict) covers exactly the
+            # flat reliable fabric with an undialed receive context;
+            # refuse regimes whose scheduling it cannot reproduce.
+            if self.fabric != "flat":
+                raise ValueError(
+                    f"simcost recording requires the flat fabric, "
+                    f"not {self.fabric!r}")
+            if self.faults is not None:
+                raise ValueError(
+                    "simcost recording requires a reliable fabric "
+                    "(no fault plan)")
+            if self.knobs.delta_occ > 0:
+                raise ValueError(
+                    "simcost recording does not support dialed "
+                    "occupancy (delta_occ > 0)")
         sim = Simulator(engine=self.engine)
         stats = ClusterStats(self.n_nodes)
         if self.fabric == "myrinet":
@@ -244,6 +266,8 @@ class Cluster:
         register_gas_handlers(table)
         app.configure(self.n_nodes, self.seed)
         app.register_handlers(table)
+        if recorder is not None:
+            recorder.begin_run(self, app.name)
 
         sanitizer = None
         if self.sanitize:
@@ -263,7 +287,7 @@ class Cluster:
                          table, window=self.window,
                          window_scope=self.window_scope, stats=stats,
                          tracer=tracer, faults=self.faults,
-                         sanitizer=sanitizer)
+                         sanitizer=sanitizer, recorder=recorder)
             proc = Proc(sim, node_id, self.n_nodes, node, am, stats=stats,
                         seed=self.seed,
                         livelock_limit=self.livelock_limit,
@@ -272,7 +296,7 @@ class Cluster:
             procs.append(proc)
 
         drivers = [
-            sim.process(self._drive(app, proc, stats),
+            sim.process(self._drive(app, proc, stats, recorder),
                         name=f"rank{proc.rank}")
             for proc in procs
         ]
@@ -301,6 +325,8 @@ class Cluster:
         for proc in procs:
             leaked = proc.am.nic.reassembly_teardown()
             stats.record_reassembly_leaks(proc.rank, leaked)
+        if recorder is not None:
+            recorder.finish(stats.runtime_us)
         output = app.finalize(procs)
         return RunResult(
             app_name=app.name,
@@ -315,18 +341,23 @@ class Cluster:
         )
 
     def _drive(self, app: "Application", proc: Proc,  # noqa: F821
-               stats: ClusterStats):
+               stats: ClusterStats,
+               recorder: Optional["DepRecorder"] = None):  # noqa: F821
         """Per-rank driver: untimed setup, timed region, teardown."""
         yield from app.setup_rank(proc)
         yield from proc.barrier()
         if proc.rank == 0:
             stats.start_measurement(proc.sim.now)
+            if recorder is not None:
+                recorder.on_mark(proc.rank, "start", proc.sim.now)
         yield from app.run_rank(proc)
         yield from proc.sync()
         yield from proc.am.drain()
         yield from proc.barrier()
         if proc.rank == 0:
             stats.stop_measurement(proc.sim.now)
+            if recorder is not None:
+                recorder.on_mark(proc.rank, "stop", proc.sim.now)
 
     def describe(self) -> str:
         """One-line summary of the configuration."""

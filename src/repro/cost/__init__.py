@@ -1,0 +1,18 @@
+"""simcost: predict o/g/L/G sweeps from one instrumented run.
+
+The fourth tier of the analysis stack (simlint → simflow → simsan →
+simcost).  See ARCHITECTURE.md section 16.
+"""
+
+from repro.cost.graph import CostGraph, DepEvent, GRAPH_SCHEMA
+from repro.cost.model import DialedCost, collective_phase_cost
+from repro.cost.predict import (PredictedPoint, PredictedSweep,
+                                UnsupportedGraphError, latency_tolerance,
+                                lp_bound, predict_runtime, predict_sweep)
+from repro.cost.recorder import DepRecorder, record_run
+
+__all__ = ["CostGraph", "DepEvent", "GRAPH_SCHEMA", "DepRecorder",
+           "record_run", "DialedCost", "collective_phase_cost",
+           "PredictedPoint", "PredictedSweep", "UnsupportedGraphError",
+           "latency_tolerance", "lp_bound", "predict_runtime",
+           "predict_sweep"]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.cost``."""
+
+import sys
+
+from repro.cost.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""``python -m repro.cost`` — record, predict, report.
+
+Follows the analysis-CLI contract (see ``repro.analysis.cli``):
+
+* exit 0 — success (and, for ``report``, the error gate holds);
+* exit 1 — ``report``'s median relative error exceeded the gate;
+* exit 2 — usage error (argparse's convention).
+
+Subcommands::
+
+    python -m repro.cost record --app Radix --nodes 8 --out radix.json
+    python -m repro.cost predict radix.json --parameter overhead
+    python -m repro.cost report --apps Radix,Sample --nodes 8 \\
+        --parameter overhead --max-median-error 0.10 --format json
+
+``record`` runs one instrumented simulation and writes the dependency
+graph; ``predict`` replays a graph over a dial grid (no simulation at
+all); ``report`` does both *and* simulates the same grid (served from
+the RunCache when warm) to print per-point relative errors — the
+validation loop CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cost.graph import CostGraph
+from repro.cost.predict import (latency_tolerance, lp_bound,
+                                predict_sweep)
+from repro.cost.recorder import record_run
+
+__all__ = ["main", "REDUCED_GRIDS"]
+
+#: Reduced per-dial grids (the ``scripts/generate_experiments.py``
+#: defaults): small enough to simulate for validation, wide enough to
+#: span the paper's dynamic range.  First value is the baseline.
+REDUCED_GRIDS = {
+    "overhead": (2.9, 12.9, 52.9, 102.9),
+    "gap": (5.8, 15.0, 55.0, 105.0),
+    "latency": (5.0, 15.0, 55.0, 105.0),
+    "bulk_mb_s": (38.0, 15.0, 10.0, 5.5, 1.0),
+}
+
+
+def _apps_for(names: Sequence[str], nodes: int, scale: float):
+    from repro.harness.suite import suite_for
+    return suite_for(nodes, scale=scale, names=list(names))
+
+
+def _parse_values(text: Optional[str],
+                  parameter: str) -> List[float]:
+    if text is None:
+        return list(REDUCED_GRIDS[parameter])
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _emit(payload: dict, text: str, fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
+# -- record -----------------------------------------------------------------
+
+def _cmd_record(args) -> int:
+    apps = _apps_for([args.app], args.nodes, args.scale)
+    graph, result = record_run(apps[0], args.nodes, seed=args.seed,
+                               window=args.window)
+    payload = graph.to_dict()
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload) + "\n")
+        print(f"{graph.describe()}\nwrote {args.out}")
+    else:
+        print(json.dumps(payload))
+    return 0
+
+
+# -- predict ----------------------------------------------------------------
+
+def _cmd_predict(args) -> int:
+    graph = CostGraph.from_json(args.graph.read_text())
+    values = _parse_values(args.values, args.parameter)
+    sweep = predict_sweep(graph, args.parameter, values)
+    tolerance = latency_tolerance(graph, args.parameter,
+                                  threshold=args.threshold)
+    baseline_bound = lp_bound(graph)
+    payload = {
+        "schema": "repro-simcost-predict-v1",
+        "app": graph.app_name,
+        "n_nodes": graph.n_nodes,
+        "parameter": args.parameter,
+        "points": [{"value": p.value, "runtime_us": round(p.runtime_us, 3),
+                    "slowdown": round(s, 4)}
+                   for p, s in zip(sweep.points, sweep.slowdowns())],
+        "latency_tolerance": tolerance,
+        "threshold": args.threshold,
+        "lp_bound_us": round(baseline_bound, 3),
+        "simulations_used": 0,
+    }
+    lines = [f"{graph.app_name} (P={graph.n_nodes}): predicted "
+             f"{args.parameter} sweep"]
+    for point in payload["points"]:
+        lines.append(f"  {args.parameter}={point['value']:<8g} "
+                     f"runtime={point['runtime_us']:<12.1f} "
+                     f"slowdown={point['slowdown']:.2f}")
+    cross = "never crosses" if tolerance is None else f"{tolerance:g}"
+    lines.append(f"  {args.threshold:g}x tolerance: {cross}; "
+                 f"LP bound at baseline: {baseline_bound:.1f} us")
+    _emit(payload, "\n".join(lines), args.format)
+    return 0
+
+
+# -- report -----------------------------------------------------------------
+
+def report_rows(apps, nodes: int, parameter: str,
+                values: Sequence[float], seed: int = 0,
+                cache=None, jobs: Optional[int] = None) -> List[dict]:
+    """Predicted-vs-simulated slowdown rows for a suite of apps.
+
+    One recording per app predicts the whole grid; the same grid is
+    simulated through :func:`repro.harness.sweeps.run_sweep` (cache-
+    served when warm) for ground truth.  Each row carries both
+    slowdowns and their relative error; per-app ``median_rel_err``
+    rides on every row for easy aggregation.
+    """
+    from repro.harness.sweeps import knob_factory, run_sweep
+    rows: List[dict] = []
+    for app in apps:
+        graph, _ = record_run(app, nodes, seed=seed)
+        predicted = predict_sweep(graph, parameter, values)
+        simulated = run_sweep(app, nodes, parameter, values,
+                              knob_factory(parameter, graph.params),
+                              seed=seed, cache=cache, jobs=jobs)
+        sim_slow = simulated.slowdowns()
+        pred_slow = predicted.slowdowns()
+        errs = []
+        app_rows = []
+        for value, sim, pred in zip(values, sim_slow, pred_slow):
+            err = None if sim is None else abs(pred - sim) / sim
+            if err is not None:
+                errs.append(err)
+            app_rows.append({"app": app.name, parameter: value,
+                             "simulated": sim, "predicted": round(pred, 4),
+                             "rel_err": None if err is None
+                             else round(err, 4)})
+        median = statistics.median(errs) if errs else None
+        for row in app_rows:
+            row["median_rel_err"] = None if median is None \
+                else round(median, 4)
+        rows.extend(app_rows)
+    return rows
+
+
+def render_report(rows: List[dict], parameter: str) -> str:
+    lines = [f"| app | {parameter} | simulated | predicted | rel err |",
+             "|---|---|---|---|---|"]
+    for row in rows:
+        sim = "N/A" if row["simulated"] is None \
+            else f"{row['simulated']:.2f}"
+        err = "N/A" if row["rel_err"] is None \
+            else f"{row['rel_err'] * 100:.1f}%"
+        lines.append(f"| {row['app']} | {row[parameter]:g} | {sim} | "
+                     f"{row['predicted']:.2f} | {err} |")
+    return "\n".join(lines)
+
+
+def _cmd_report(args) -> int:
+    names = [part.strip() for part in args.apps.split(",") if part.strip()]
+    if not names:
+        print("report: --apps named no applications", file=sys.stderr)
+        return 2
+    apps = _apps_for(names, args.nodes, args.scale)
+    values = _parse_values(args.values, args.parameter)
+    cache = None
+    if not args.no_cache:
+        from repro.harness.runcache import RunCache
+        cache = RunCache(args.cache_dir)
+    rows = report_rows(apps, args.nodes, args.parameter, values,
+                       seed=args.seed, cache=cache, jobs=args.jobs)
+    errs = [row["rel_err"] for row in rows if row["rel_err"] is not None]
+    median = statistics.median(errs) if errs else None
+    predicted_points = len(rows)
+    recordings = len(apps)
+    payload = {
+        "schema": "repro-simcost-bench-v1",
+        "parameter": args.parameter,
+        "n_nodes": args.nodes,
+        "scale": args.scale,
+        "recordings": recordings,
+        "predicted_points": predicted_points,
+        "simulations_classic": predicted_points,
+        "simulations_avoided_ratio": (
+            round(predicted_points / recordings, 2) if recordings else None),
+        "median_rel_err": None if median is None else round(median, 4),
+        "max_median_error": args.max_median_error,
+        "rows": rows,
+    }
+    text = render_report(rows, args.parameter)
+    if median is not None:
+        text += (f"\n\nmedian relative error: {median * 100:.1f}% "
+                 f"(gate: {args.max_median_error * 100:.0f}%)")
+    _emit(payload, text, args.format)
+    if args.bench_out is not None:
+        args.bench_out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.bench_out}", file=sys.stderr)
+    if median is not None and median > args.max_median_error:
+        return 1
+    return 0
+
+
+# -- argument parsing --------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cost",
+        description="simcost: predict dial sweeps from one recorded run.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record",
+                            help="run one instrumented simulation and "
+                            "write its dependency graph")
+    record.add_argument("--app", required=True,
+                        help="application name (as in the suite)")
+    record.add_argument("--nodes", type=int, default=8)
+    record.add_argument("--scale", type=float, default=1.0)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--window", type=int, default=8)
+    record.add_argument("--out", type=pathlib.Path, default=None,
+                        help="graph JSON path (default: stdout)")
+
+    predict = sub.add_parser("predict",
+                             help="replay a recorded graph over a dial "
+                             "grid (no simulation)")
+    predict.add_argument("graph", type=pathlib.Path,
+                         help="graph JSON written by `record`")
+    predict.add_argument("--parameter", default="overhead",
+                         choices=sorted(REDUCED_GRIDS))
+    predict.add_argument("--values", default=None,
+                         help="comma-separated dial values "
+                         "(default: the reduced grid)")
+    predict.add_argument("--threshold", type=float, default=2.0,
+                         help="slowdown threshold for the tolerance "
+                         "metric (default 2.0)")
+    predict.add_argument("--format", choices=("text", "json"),
+                         default="text")
+
+    report = sub.add_parser("report",
+                            help="record + predict + simulate the same "
+                            "grid; gate on median relative error")
+    report.add_argument("--apps", required=True,
+                        help="comma-separated application names")
+    report.add_argument("--nodes", type=int, default=8)
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--parameter", default="overhead",
+                        choices=sorted(REDUCED_GRIDS))
+    report.add_argument("--values", default=None)
+    report.add_argument("--max-median-error", type=float, default=0.10)
+    report.add_argument("--jobs", type=int, default=None)
+    report.add_argument("--no-cache", action="store_true")
+    report.add_argument("--cache-dir", default=None)
+    report.add_argument("--bench-out", type=pathlib.Path, default=None,
+                        help="also write the report payload as a BENCH "
+                        "JSON file")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    return _cmd_report(args)

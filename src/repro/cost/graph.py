@@ -1,0 +1,192 @@
+"""The recorded communication dependency DAG ("simcost" graphs).
+
+A :class:`CostGraph` is the durable artifact of one instrumented run:
+every host-level communication event (sends, receptions, flow-control
+blocking, the measurement markers) in the order the simulator executed
+them, together with the machine configuration the run used.  Because
+the simulator processes events in nondecreasing simulated time, the
+recorded order is a valid topological order of the happens-before DAG:
+every dependency of an event (the matching send of a reception, the
+reply that returned a window credit) appears earlier in the list.  The
+predictor (:mod:`repro.cost.predict`) exploits this: longest-path
+evaluation is a single forward scan.
+
+Nodes and edges, concretely:
+
+* a ``send`` event is the completion of one host-level send (request,
+  one-way, bulk last fragment, reply, or auto-ack) — program-order
+  edge from the previous event on the same rank, plus a window-credit
+  edge from the reply/CREDIT that freed its flow-control slot;
+* a ``recv`` event is the completion of one host-level reception —
+  program-order edge plus a message edge from the matching send,
+  weighted by the sender's NIC transmit chain and the wire;
+* a ``mark`` event brackets the measured region on rank 0.
+
+Program-order edges carry the *busy* time between events: recorded
+elapsed time minus blocked time minus the event's own recorded charge
+— the dial-independent compute the replay preserves verbatim.
+
+Graphs round-trip through JSON (``schema: repro-cost-graph-v1``) so
+``python -m repro.cost record`` and ``predict`` can run as separate
+processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.am.tuning import TuningKnobs
+from repro.network.loggp import LogGPParams
+
+__all__ = ["DepEvent", "CostGraph", "GRAPH_SCHEMA"]
+
+#: JSON schema tag of serialized graphs.
+GRAPH_SCHEMA = "repro-cost-graph-v1"
+
+
+@dataclass
+class DepEvent:
+    """One node of the dependency DAG (see the module docstring)."""
+
+    #: ``"send"`` | ``"recv"`` | ``"mark"``.
+    kind: str
+    rank: int
+    #: Recorded completion time of the event (simulated µs).
+    t: float
+    #: Host charge paid at this event in the recorded run (µs):
+    #: ``o_send + delta_o`` for sends, ``o_recv + delta_o`` for recvs.
+    charge: float = 0.0
+    #: Time this rank spent blocked (parked in ``wait_until``) between
+    #: the previous event on this rank and this one (µs).
+    blocked: float = 0.0
+    #: Transfer id linking sends to their receptions and replies to
+    #: their requests (-1 for marks).
+    xfer: int = -1
+    #: Destination rank for sends, source rank for recvs.
+    peer: int = -1
+    #: True for replies (short REPLY or bulk ``is_reply``); a send's
+    #: reception key is ``(xfer, reply_like)`` since a request and its
+    #: reply share one xfer id.
+    reply_like: bool = False
+    #: True for sends that consumed a flow-control window slot
+    #: (requests and non-reply bulk transfers; replies/acks never do).
+    takes_credit: bool = False
+    #: True for one-way sends (credit returns as a NIC-level CREDIT).
+    one_way: bool = False
+    #: True for bulk transfers (the send stands for all fragments).
+    bulk: bool = False
+    #: Logical bytes of the message (bulk: whole transfer).
+    nbytes: int = 0
+    #: Fragment count of a bulk transfer (1 for short messages).
+    frags: int = 1
+    #: Marker label (``"start"`` / ``"stop"``) for ``mark`` events.
+    label: str = ""
+
+    # -- compact serialisation (graphs can hold 1e5+ events) -------------
+    def to_row(self) -> list:
+        if self.kind == "mark":
+            return ["m", self.rank, self.t, self.blocked, self.label]
+        if self.kind == "recv":
+            return ["r", self.rank, self.t, self.charge, self.blocked,
+                    self.xfer, self.peer, int(self.reply_like)]
+        return ["s", self.rank, self.t, self.charge, self.blocked,
+                self.xfer, self.peer, int(self.reply_like),
+                int(self.takes_credit), int(self.one_way),
+                int(self.bulk), self.nbytes, self.frags]
+
+    @classmethod
+    def from_row(cls, row: list) -> "DepEvent":
+        tag = row[0]
+        if tag == "m":
+            return cls(kind="mark", rank=row[1], t=row[2],
+                       blocked=row[3], label=row[4])
+        if tag == "r":
+            return cls(kind="recv", rank=row[1], t=row[2], charge=row[3],
+                       blocked=row[4], xfer=row[5], peer=row[6],
+                       reply_like=bool(row[7]))
+        if tag == "s":
+            return cls(kind="send", rank=row[1], t=row[2], charge=row[3],
+                       blocked=row[4], xfer=row[5], peer=row[6],
+                       reply_like=bool(row[7]), takes_credit=bool(row[8]),
+                       one_way=bool(row[9]), bulk=bool(row[10]),
+                       nbytes=row[11], frags=row[12])
+        raise ValueError(f"unknown event row tag {tag!r}")
+
+
+@dataclass
+class CostGraph:
+    """One instrumented run's dependency DAG plus its configuration."""
+
+    app_name: str
+    n_nodes: int
+    #: Baseline machine of the recorded run.
+    params: LogGPParams
+    #: Dials of the recorded run (the sweep baseline, usually all-zero).
+    knobs: TuningKnobs
+    window: int
+    window_scope: str
+    seed: int
+    #: Measured runtime of the recorded run (ground truth at the
+    #: recorded dials; the predictor's self-check).
+    runtime_us: float
+    events: List[DepEvent] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Event-population summary (for ``describe`` and reports)."""
+        sends = sum(1 for e in self.events if e.kind == "send")
+        recvs = sum(1 for e in self.events if e.kind == "recv")
+        bulk = sum(1 for e in self.events
+                   if e.kind == "send" and e.bulk)
+        return {"events": len(self.events), "sends": sends,
+                "recvs": recvs, "bulk_sends": bulk}
+
+    def describe(self) -> str:
+        c = self.counts()
+        return (f"CostGraph({self.app_name}, P={self.n_nodes}, "
+                f"{c['events']} events: {c['sends']} sends / "
+                f"{c['recvs']} recvs / {c['bulk_sends']} bulk, "
+                f"runtime {self.runtime_us:.1f}us)")
+
+    # -- JSON round trip ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": GRAPH_SCHEMA,
+            "app_name": self.app_name,
+            "n_nodes": self.n_nodes,
+            "params": dataclasses.asdict(self.params),
+            "knobs": dataclasses.asdict(self.knobs),
+            "window": self.window,
+            "window_scope": self.window_scope,
+            "seed": self.seed,
+            "runtime_us": self.runtime_us,
+            "events": [event.to_row() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CostGraph":
+        schema = data.get("schema")
+        if schema != GRAPH_SCHEMA:
+            raise ValueError(
+                f"not a simcost graph (schema {schema!r}, "
+                f"expected {GRAPH_SCHEMA!r})")
+        return cls(
+            app_name=data["app_name"],
+            n_nodes=data["n_nodes"],
+            params=LogGPParams(**data["params"]),
+            knobs=TuningKnobs(**data["knobs"]),
+            window=data["window"],
+            window_scope=data["window_scope"],
+            seed=data["seed"],
+            runtime_us=data["runtime_us"],
+            events=[DepEvent.from_row(row) for row in data["events"]],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostGraph":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,365 @@
+"""Longest-path replay of a recorded DAG under re-dialed parameters.
+
+:func:`predict_runtime` re-evaluates one recorded run at a new
+:class:`~repro.am.tuning.TuningKnobs` point in a single O(events)
+forward scan — the recorded order is a topological order of the
+happens-before DAG (see :mod:`repro.cost.graph`), so each event's
+predicted completion is a max over its already-computed predecessors
+plus its re-dialed edge costs:
+
+* **program order**: the previous event on the same rank, plus the
+  dial-independent *busy* compute between them (recorded elapsed time
+  minus blocked time minus the recorded charge, clamped at zero);
+* **message edges**: a reception waits for its sender's NIC delivery
+  — the per-fragment transmit chain (DMA, injection, gap stall) of
+  :class:`~repro.cost.model.DialedCost` plus the wire;
+* **window credits**: a credit-taking send with a full window waits
+  for the earliest credit return among its outstanding transfers —
+  a reply's delivery, or a one-way's NIC CREDIT round (delivery plus
+  one more wire leg).
+
+Every edge weight is linear in each dial, and predicted runtime is a
+max over path sums, so runtime is piecewise-linear in every dial:
+:func:`predict_sweep` evaluates it over a grid, and
+:func:`latency_tolerance` bisects it for the 2x-slowdown crossing.
+:func:`lp_bound` gives the complementary LP-style lower bound — the
+most-loaded resource (host or NIC transmit context) can never finish
+faster than its summed work.
+
+What replays exactly, what is approximated, and what is refused is
+documented in ARCHITECTURE.md section 16; graphs from unsupported
+regimes raise :class:`UnsupportedGraphError` here, and recording
+refuses them up front in ``Cluster.run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.am.tuning import TuningKnobs
+from repro.cost.graph import CostGraph
+from repro.cost.model import DialedCost
+from repro.harness.sweeps import knob_factory
+
+__all__ = ["UnsupportedGraphError", "predict_runtime", "PredictedPoint",
+           "PredictedSweep", "predict_sweep", "latency_tolerance",
+           "lp_bound"]
+
+
+class UnsupportedGraphError(ValueError):
+    """The dial point or graph is outside the replay model's domain."""
+
+
+def _check_supported(graph: CostGraph, knobs: TuningKnobs) -> None:
+    if knobs.delta_occ > 0:
+        raise UnsupportedGraphError(
+            "dialed occupancy (delta_occ > 0) serialises the receive "
+            "context; predict cannot replay it — simulate instead")
+    if graph.knobs.delta_occ > 0:
+        raise UnsupportedGraphError(
+            "graph was recorded with dialed occupancy; re-record at "
+            "delta_occ = 0")
+
+
+def predict_runtime(graph: CostGraph,
+                    knobs: Optional[TuningKnobs] = None) -> float:
+    """Predicted runtime (µs) of the recorded run at a new dial point.
+
+    ``knobs=None`` replays the graph at its own recorded dials — the
+    self-check that the model reproduces the measured
+    ``graph.runtime_us``.
+    """
+    knobs = knobs if knobs is not None else graph.knobs
+    _check_supported(graph, knobs)
+    cost = DialedCost(graph.params, knobs)
+    window = graph.window
+    per_dest = graph.window_scope == "per-destination"
+
+    # Per-rank replay state.
+    clock: Dict[int, float] = {}       # predicted completion of last event
+    last_t: Dict[int, float] = {}      # recorded completion of last event
+    nic_free: Dict[int, float] = {}    # predicted transmit-context free time
+    # Message / flow-control state.
+    delivery: Dict[Tuple[int, bool], float] = {}
+    credit_return: Dict[int, float] = {}
+    outstanding: Dict[Tuple[int, int], List[int]] = {}
+
+    t_start: Optional[float] = None
+    t_stop: Optional[float] = None
+
+    for event in graph.events:
+        rank = event.rank
+        busy = max(0.0, (event.t - last_t.get(rank, 0.0))
+                   - event.blocked - event.charge)
+        last_t[rank] = event.t
+        ready = clock.get(rank, 0.0) + busy
+
+        if event.kind == "mark":
+            clock[rank] = ready
+            if event.label == "start":
+                t_start = ready
+            elif event.label == "stop":
+                t_stop = ready
+            continue
+
+        if event.kind == "recv":
+            arrived = delivery.get((event.xfer, event.reply_like))
+            if arrived is not None and arrived > ready:
+                ready = arrived
+            clock[rank] = ready + cost.recv_charge
+            continue
+
+        # -- send -----------------------------------------------------------
+        if event.takes_credit:
+            key = (rank, event.peer if per_dest else -1)
+            slots = outstanding.setdefault(key, [])
+            if len(slots) >= window:
+                # Wait for the earliest *known* credit return.  Returns
+                # recorded after this point in the scan are treated as
+                # later — consistent with the recorded schedule, where
+                # the freeing return had already happened.
+                best_i = -1
+                best_rt = 0.0
+                for i, xfer in enumerate(slots):
+                    rt = credit_return.get(xfer)
+                    if rt is not None and (best_i < 0 or rt < best_rt):
+                        best_i, best_rt = i, rt
+                if best_i >= 0:
+                    slots.pop(best_i)
+                    if best_rt > ready:
+                        ready = best_rt
+                else:  # pragma: no cover - cannot happen in a valid graph
+                    slots.pop(0)
+            slots.append(event.xfer)
+        done = ready + cost.send_charge
+        clock[rank] = done
+
+        # NIC transmit chain: fragments enter the tx queue at `done`.
+        free = nic_free.get(rank, 0.0)
+        arrival = done
+        if event.bulk:
+            for size in cost.fragment_sizes(event.nbytes):
+                pre, stall = cost.tx_cycle(size, True)
+                inject = max(done, free) + pre
+                free = inject + stall
+                arrival = inject + cost.wire
+        else:
+            pre, stall = cost.tx_cycle(event.nbytes, False)
+            inject = max(done, free) + pre
+            free = inject + stall
+            arrival = inject + cost.wire
+        nic_free[rank] = free
+
+        delivery[(event.xfer, event.reply_like)] = arrival
+        if event.reply_like:
+            # A reply's arrival returns the request's window credit.
+            credit_return[event.xfer] = arrival
+        elif event.one_way:
+            # NIC CREDIT: generated at delivery, one more wire leg back
+            # (CREDITs bypass the transmit gap but ride the delay queue).
+            credit_return[event.xfer] = arrival + cost.wire
+
+    if t_start is None or t_stop is None:
+        raise UnsupportedGraphError(
+            "graph has no measurement markers; was the run recorded "
+            "through Cluster.run?")
+    return t_stop - t_start
+
+
+@dataclass
+class PredictedPoint:
+    """One predicted configuration of a sweep (no simulation behind it)."""
+
+    value: float
+    knobs: TuningKnobs
+    runtime_us: float
+
+    @property
+    def completed(self) -> bool:
+        return True
+
+
+@dataclass
+class PredictedSweep:
+    """Drop-in for :class:`~repro.harness.sweeps.SweepResult`, predicted.
+
+    Same reading API (``values`` / ``slowdowns`` / ``series`` /
+    ``as_rows``), but every point comes from replaying one recorded
+    graph: :attr:`simulations_used` is the whole sweep's simulation
+    bill.
+    """
+
+    app_name: str
+    n_nodes: int
+    parameter: str
+    points: List[PredictedPoint] = field(default_factory=list)
+    #: Instrumented simulations behind this sweep (the recording).
+    simulations_used: int = 1
+
+    @property
+    def baseline(self) -> PredictedPoint:
+        return self.points[0]
+
+    def values(self) -> List[float]:
+        return [p.value for p in self.points]
+
+    def slowdowns(self) -> List[float]:
+        base = self.baseline.runtime_us
+        return [p.runtime_us / base for p in self.points]
+
+    def series(self) -> List[tuple]:
+        base = self.baseline.runtime_us
+        return [(p.value, p.runtime_us / base) for p in self.points]
+
+    def as_rows(self) -> List[dict]:
+        base = self.baseline.runtime_us
+        return [{
+            "app": self.app_name,
+            self.parameter: p.value,
+            "runtime_us": round(p.runtime_us, 1),
+            "slowdown": round(p.runtime_us / base, 2),
+            "failure": "",
+        } for p in self.points]
+
+
+def predict_sweep(graph: CostGraph, parameter: str,
+                  values: Sequence[float],
+                  knob_for: Optional[Callable[[float], TuningKnobs]] = None,
+                  ) -> PredictedSweep:
+    """Predict a whole dial sweep from one recorded graph.
+
+    The analytical counterpart of :func:`repro.harness.sweeps.
+    run_sweep`: ``parameter`` and ``values`` mean exactly what they
+    mean there (absolute targets; first value is the baseline), and
+    ``knob_for`` defaults to the shared :func:`~repro.harness.sweeps.
+    knob_factory` dial semantics against the graph's recorded params.
+    """
+    if knob_for is None:
+        knob_for = knob_factory(parameter, graph.params)
+    sweep = PredictedSweep(app_name=graph.app_name,
+                           n_nodes=graph.n_nodes, parameter=parameter)
+    for value in values:
+        knobs = knob_for(value)
+        sweep.points.append(PredictedPoint(
+            value=value, knobs=knobs,
+            runtime_us=predict_runtime(graph, knobs)))
+    return sweep
+
+
+#: Baseline (undialed) absolute value of each sweepable dial.
+def _dial_baseline(graph: CostGraph, parameter: str) -> float:
+    params = graph.params
+    if parameter == "overhead":
+        return params.overhead
+    if parameter == "gap":
+        return params.gap
+    if parameter == "latency":
+        return params.latency
+    if parameter == "bulk_mb_s":
+        return 1.0 / params.Gap
+    raise ValueError(f"unknown dial {parameter!r}")
+
+
+def latency_tolerance(graph: CostGraph, parameter: str,
+                      threshold: float = 2.0,
+                      tol: float = 0.01,
+                      max_value: float = 100_000.0) -> Optional[float]:
+    """The dial value at which predicted slowdown crosses ``threshold``.
+
+    The per-app "latency tolerance" metric (for any of the four dials,
+    despite the name): how far the dial can be turned before the
+    application slows down by ``threshold``x.  Slowdown is
+    piecewise-linear and monotone in each dial, so the crossing is
+    found by doubling + bisection to relative precision ``tol``.
+    Returns ``None`` when the app never crosses within ``max_value``
+    (for ``bulk_mb_s``, when it still holds at 1/1000 of the baseline
+    bandwidth — effectively bandwidth-insensitive).
+    """
+    knob_for = knob_factory(parameter, graph.params)
+    base_value = _dial_baseline(graph, parameter)
+    base_runtime = predict_runtime(graph, knob_for(base_value))
+
+    def slowdown(value: float) -> float:
+        return predict_runtime(graph, knob_for(value)) / base_runtime
+
+    if parameter == "bulk_mb_s":
+        # Slowdown grows as bandwidth *drops*: search downward.
+        lo, hi = base_value, base_value  # hi = crossing side (small mb)
+        floor = base_value / 1000.0
+        while slowdown(hi) < threshold:
+            hi /= 2.0
+            if hi < floor:
+                return None
+        lo = hi * 2.0 if hi < base_value else base_value
+        while (lo - hi) > tol * max(1e-9, lo):
+            mid = (lo + hi) / 2.0
+            if slowdown(mid) >= threshold:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    if slowdown(base_value) >= threshold:
+        return base_value
+    hi = max(base_value, 1.0)
+    while slowdown(hi) < threshold:
+        hi *= 2.0
+        if hi > max_value:
+            return None
+    lo = max(base_value, hi / 2.0)
+    while (hi - lo) > tol * max(1e-9, hi):
+        mid = (lo + hi) / 2.0
+        if slowdown(mid) >= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def lp_bound(graph: CostGraph,
+             knobs: Optional[TuningKnobs] = None) -> float:
+    """LP-style lower bound on runtime at a dial point (µs).
+
+    Relaxes all ordering constraints and keeps only per-resource work
+    conservation over the measured region: every rank's host must
+    execute its busy compute plus its per-message charges, and every
+    rank's NIC transmit context must execute its injection cycles.
+    The longest-path prediction always dominates this bound; a large
+    gap between them means the app hides communication well (the
+    dial's cost overlaps compute), a small gap means it is
+    resource-bound on that dial.
+    """
+    knobs = knobs if knobs is not None else graph.knobs
+    _check_supported(graph, knobs)
+    cost = DialedCost(graph.params, knobs)
+
+    # Recorded bounds of the measured region.
+    marks = {e.label: e.t for e in graph.events if e.kind == "mark"}
+    if "start" not in marks or "stop" not in marks:
+        raise UnsupportedGraphError("graph has no measurement markers")
+    t0, t1 = marks["start"], marks["stop"]
+
+    host: Dict[int, float] = {}
+    nic: Dict[int, float] = {}
+    last_t: Dict[int, float] = {}
+    for event in graph.events:
+        rank = event.rank
+        busy = max(0.0, (event.t - last_t.get(rank, 0.0))
+                   - event.blocked - event.charge)
+        last_t[rank] = event.t
+        if not (t0 < event.t <= t1):
+            continue
+        host[rank] = host.get(rank, 0.0) + busy
+        if event.kind == "recv":
+            host[rank] += cost.recv_charge
+        elif event.kind == "send":
+            host[rank] += cost.send_charge
+            if event.bulk:
+                work = sum(sum(cost.tx_cycle(size, True))
+                           for size in cost.fragment_sizes(event.nbytes))
+            else:
+                work = sum(cost.tx_cycle(event.nbytes, False))
+            nic[rank] = nic.get(rank, 0.0) + work
+    bounds = list(host.values()) + list(nic.values())
+    return max(bounds) if bounds else 0.0

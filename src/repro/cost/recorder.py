@@ -1,0 +1,151 @@
+"""Observation-only recording of a run's dependency DAG.
+
+A :class:`DepRecorder` is passed to :meth:`Cluster.run(app,
+recorder=...) <repro.cluster.machine.Cluster.run>` exactly like a
+``MessageTracer``: the AM layer invokes its hooks at every host-level
+send and reception and around every blocked wait, and the cluster
+brackets the measured region with markers.  The hooks only *read*
+simulator state (``sim.now``, packet fields) and append to Python
+lists — they schedule nothing, charge nothing, and touch no
+randomness, so an instrumented run is bit-identical to an unrecorded
+one (same ``runtime_us``, ``events_processed``, stats, and RunCache
+keys).  This is the same contract simsan established, and it is
+pinned by tests and CI.
+
+Recording is supported on the flat fabric with a perfectly reliable
+wire and undialed occupancy; other regimes (fault plans with their
+retransmission timers, switched fabrics with contention, a serialised
+receive context) have scheduling dynamics the replay model does not
+reproduce, so :func:`record_run` refuses them up front rather than
+returning graphs that mispredict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cost.graph import CostGraph, DepEvent
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["DepRecorder", "record_run"]
+
+
+class DepRecorder:
+    """Collects :class:`DepEvent` rows during one instrumented run.
+
+    One recorder serves exactly one run: :meth:`begin_run` arms it and
+    :meth:`finish` seals it (both called by ``Cluster.run``).  The
+    finished graph is available as :attr:`graph`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[DepEvent] = []
+        #: Per-rank blocked time accumulated since the previous recorded
+        #: event on that rank (consumed by the next event).
+        self._blocked: Dict[int, float] = {}
+        self._armed = False
+        self._finished = False
+        self.graph: Optional[CostGraph] = None
+        # Filled by begin_run from the cluster configuration.
+        self._app_name = ""
+        self._n_nodes = 0
+        self._params = None
+        self._knobs = None
+        self._window = 0
+        self._window_scope = ""
+        self._seed = 0
+
+    # -- lifecycle (driven by Cluster.run) ---------------------------------
+    def begin_run(self, cluster, app_name: str) -> None:
+        if self._armed or self._finished:
+            raise RuntimeError(
+                "a DepRecorder records exactly one run; make a new one")
+        self._armed = True
+        self._app_name = app_name
+        self._n_nodes = cluster.n_nodes
+        self._params = cluster.params
+        self._knobs = cluster.knobs
+        self._window = cluster.window
+        self._window_scope = cluster.window_scope
+        self._seed = cluster.seed
+
+    def finish(self, runtime_us: float) -> CostGraph:
+        if not self._armed:
+            raise RuntimeError("finish() before begin_run()")
+        self._armed = False
+        self._finished = True
+        self.graph = CostGraph(
+            app_name=self._app_name, n_nodes=self._n_nodes,
+            params=self._params, knobs=self._knobs, window=self._window,
+            window_scope=self._window_scope, seed=self._seed,
+            runtime_us=runtime_us, events=self.events)
+        return self.graph
+
+    # -- hooks (called from the AM layer / cluster driver) -----------------
+    def _take_blocked(self, rank: int) -> float:
+        return self._blocked.pop(rank, 0.0)
+
+    def on_send(self, rank: int, packet: Packet, now: float,
+                charge: float) -> None:
+        """Completion of one host-level send (after its ``o`` charge)."""
+        reply_like = packet.kind is PacketKind.REPLY or packet.is_reply
+        bulk = packet.is_bulk
+        if bulk:
+            nbytes = packet.message_bytes \
+                if packet.message_bytes is not None else packet.size_bytes
+            frags = packet.fragment[1]
+        else:
+            nbytes = packet.size_bytes
+            frags = 1
+        self.events.append(DepEvent(
+            kind="send", rank=rank, t=now, charge=charge,
+            blocked=self._take_blocked(rank), xfer=packet.xfer_id,
+            peer=packet.dst, reply_like=reply_like,
+            takes_credit=not reply_like, one_way=packet.one_way,
+            bulk=bulk, nbytes=nbytes, frags=frags))
+
+    def on_recv(self, rank: int, packet: Packet, now: float,
+                charge: float) -> None:
+        """Completion of one host-level reception (after its charge)."""
+        reply_like = packet.kind is PacketKind.REPLY or packet.is_reply
+        self.events.append(DepEvent(
+            kind="recv", rank=rank, t=now, charge=charge,
+            blocked=self._take_blocked(rank), xfer=packet.xfer_id,
+            peer=packet.src, reply_like=reply_like))
+
+    def on_blocked(self, rank: int, duration: float) -> None:
+        """The rank was parked in ``wait_until`` for ``duration`` µs."""
+        if duration > 0:
+            self._blocked[rank] = self._blocked.get(rank, 0.0) + duration
+
+    def on_mark(self, rank: int, label: str, now: float) -> None:
+        """Measurement-region marker (``start`` / ``stop`` on rank 0)."""
+        self.events.append(DepEvent(
+            kind="mark", rank=rank, t=now,
+            blocked=self._take_blocked(rank), label=label))
+
+
+def record_run(app, n_nodes: int, params=None, knobs=None, seed: int = 0,
+               window: Optional[int] = None,
+               window_scope: str = "per-destination",
+               run_limit_us: Optional[float] = None,
+               livelock_limit: int = 200_000,
+               engine: Optional[str] = None):
+    """Run ``app`` once with recording on; return ``(graph, result)``.
+
+    The single instrumented simulation that replaces a dial sweep.
+    Configuration keywords mirror :class:`~repro.cluster.machine.
+    Cluster`; the run itself is bit-identical to an unrecorded run of
+    the same configuration.
+    """
+    from repro.am.layer import DEFAULT_WINDOW
+    from repro.cluster.machine import Cluster
+
+    cluster = Cluster(
+        n_nodes=n_nodes, params=params, knobs=knobs, seed=seed,
+        window=window if window is not None else DEFAULT_WINDOW,
+        window_scope=window_scope, run_limit_us=run_limit_us,
+        livelock_limit=livelock_limit, engine=engine)
+    recorder = DepRecorder()
+    result = cluster.run(app, recorder=recorder)
+    return recorder.graph, result

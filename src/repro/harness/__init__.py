@@ -28,7 +28,8 @@ from repro.harness.parallel import (run_sweep_parallel,
 from repro.harness.runcache import RunCache
 from repro.harness.store import ResultStore
 from repro.harness.campaign import (CampaignSpec, CampaignReport,
-                                    CampaignInterrupted, run_campaign,
+                                    CampaignInterrupted, EnsembleSweep,
+                                    ensemble_from_store, run_campaign,
                                     sweep_from_store, figure_from_store,
                                     render_campaign)
 from repro.harness.report import ascii_plot, render_table
@@ -44,6 +45,7 @@ __all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
            "run_experiments_parallel", "RunCache", "ResultStore",
            "CampaignSpec", "CampaignReport", "CampaignInterrupted",
            "run_campaign", "sweep_from_store", "figure_from_store",
+           "EnsembleSweep", "ensemble_from_store",
            "render_campaign", "ascii_plot",
            "render_table", "ExperimentConfig", "sensitivity_surface",
            "overhead_gap_surface", "write_rows_csv", "write_matrix_csv",

@@ -62,6 +62,10 @@ ARTIFACTS = {
     "table8": lambda nodes, scale: experiments.table8_coll_tuner(
         n_nodes=nodes),
     "surface": lambda nodes, scale: _surface(nodes, scale),
+    # simcost: the overhead sweep predicted from one recorded run per
+    # app instead of one simulation per (app, value) point.
+    "predict": lambda nodes, scale: experiments.predicted_sensitivity(
+        n_nodes=nodes, scale=scale, parameter="overhead"),
 }
 
 

@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
+import statistics
 import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -62,6 +64,7 @@ from repro.network.faults import DelaySpike, FaultPlan, SlowdownWindow
 
 __all__ = ["CampaignSpec", "CampaignPoint", "CampaignReport",
            "CampaignInterrupted", "run_campaign", "sweep_from_store",
+           "EnsembleSweep", "ensemble_from_store",
            "figure_from_store", "render_campaign", "CAMPAIGN_DIALS"]
 
 #: Dials a campaign can sweep: the paper's four machine dials plus the
@@ -502,6 +505,102 @@ def sweep_from_store(store: ResultStore, spec: CampaignSpec,
 
 
 @dataclass
+class EnsembleSweep:
+    """Seed-ensemble statistics for one (app, P, dial) series.
+
+    The query-side aggregation over a campaign's ``seeds`` axis: one
+    :func:`sweep_from_store` reconstruction per seed, collapsed to a
+    per-value mean slowdown with a 95% confidence half-width (normal
+    approximation, ``1.96 * s / sqrt(n)`` over the seeds whose run
+    completed).  Values with zero completed seeds report ``None`` for
+    both statistics, mirroring the single-seed N/A convention.
+    """
+
+    app_name: str
+    n_nodes: int
+    parameter: str
+    seeds: Tuple[int, ...]
+    values: List[float] = field(default_factory=list)
+    #: seed -> per-value slowdowns (None where that seed's point is N/A).
+    slowdowns_by_seed: Dict[int, List[Optional[float]]] = \
+        field(default_factory=dict)
+
+    def _samples(self, index: int) -> List[float]:
+        return [per_seed[index]
+                for per_seed in self.slowdowns_by_seed.values()
+                if per_seed[index] is not None]
+
+    def mean_slowdowns(self) -> List[Optional[float]]:
+        """Per-value mean slowdown over completed seeds."""
+        means = []
+        for index in range(len(self.values)):
+            samples = self._samples(index)
+            means.append(statistics.fmean(samples) if samples else None)
+        return means
+
+    def ci_halfwidths(self) -> List[Optional[float]]:
+        """Per-value 95% CI half-width (0.0 for a single seed)."""
+        widths: List[Optional[float]] = []
+        for index in range(len(self.values)):
+            samples = self._samples(index)
+            if not samples:
+                widths.append(None)
+            elif len(samples) == 1:
+                widths.append(0.0)
+            else:
+                widths.append(1.96 * statistics.stdev(samples)
+                              / math.sqrt(len(samples)))
+        return widths
+
+    def rows(self) -> List[dict]:
+        """Flat per-value rows: mean, ci95, and seed counts."""
+        rows = []
+        means = self.mean_slowdowns()
+        widths = self.ci_halfwidths()
+        for index, value in enumerate(self.values):
+            rows.append({
+                "app": self.app_name,
+                self.parameter: value,
+                "mean_slowdown": (round(means[index], 4)
+                                  if means[index] is not None else None),
+                "ci95": (round(widths[index], 4)
+                         if widths[index] is not None else None),
+                "completed_seeds": len(self._samples(index)),
+                "seeds": len(self.seeds),
+            })
+        return rows
+
+
+def ensemble_from_store(store: ResultStore, spec: CampaignSpec,
+                        app_name: str, n_nodes: int,
+                        parameter: str) -> EnsembleSweep:
+    """Mean/CI slowdown statistics over the campaign's ``seeds`` axis.
+
+    Reconstructs one :func:`sweep_from_store` series per seed (so the
+    same missing-point contract applies: an unfinished campaign raises
+    :class:`KeyError`) and normalises each seed against *its own*
+    baseline point before aggregating — slowdowns compare shape across
+    seeds, not absolute runtimes.
+    """
+    values = list(spec.values_for(parameter))
+    ensemble = EnsembleSweep(app_name=app_name, n_nodes=n_nodes,
+                             parameter=parameter,
+                             seeds=tuple(spec.seeds), values=values)
+    for seed in spec.seeds:
+        sweep = sweep_from_store(store, spec, app_name, n_nodes,
+                                 parameter, seed=seed)
+        base = sweep.baseline.runtime_us
+        per_seed: List[Optional[float]] = []
+        for point in sweep.points:
+            if base is None or not point.completed:
+                per_seed.append(None)
+            else:
+                per_seed.append(point.runtime_us / base)
+        ensemble.slowdowns_by_seed[seed] = per_seed
+    return ensemble
+
+
+@dataclass
 class CampaignFigure:
     """A rendered set of per-app sweeps for one (P, dial) pair."""
 
@@ -573,4 +672,20 @@ def render_campaign(specs: Sequence[CampaignSpec],
                       f"{'N/A' if slowdown is None else f'{slowdown:.2f}x'}"
                       f" | {na} |")
                 w("")
+                if len(spec.seeds) > 1:
+                    w(f"Seed ensemble ({len(spec.seeds)} seeds, "
+                      "mean slowdown ± 95% CI):\n")
+                    w(f"| app | {parameter} | mean | ±95% CI | seeds |")
+                    w("|---|---|---|---|---|")
+                    for app_name in spec.apps:
+                        ens = ensemble_from_store(store, spec, app_name,
+                                                  n_nodes, parameter)
+                        for row in ens.rows():
+                            mean = row["mean_slowdown"]
+                            ci = row["ci95"]
+                            w(f"| {app_name} | {row[parameter]:g} | "
+                              f"{'N/A' if mean is None else f'{mean:.2f}x'}"
+                              f" | {'N/A' if ci is None else f'{ci:.3f}'} |"
+                              f" {row['completed_seeds']}/{row['seeds']} |")
+                    w("")
     return "\n".join(out) + "\n"

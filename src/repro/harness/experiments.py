@@ -37,6 +37,7 @@ __all__ = [
     "table3_baseline_runtimes", "figure4_balance", "table4_comm_summary",
     "figure5_overhead", "table5_overhead_model", "figure6_gap",
     "table6_gap_model", "figure7_latency", "figure8_bulk",
+    "predicted_sensitivity",
     "figure9_faults", "table7_spike_decay",
     "figure10_collectives", "table8_coll_tuner",
 ]
@@ -324,6 +325,42 @@ def figure8_bulk(n_nodes: int = 32, scale: float = 1.0,
             sweep_kwargs["bandwidths"] = bandwidths
         figure.sweeps[app.name] = bulk_bandwidth_sweep(
             app, n_nodes, seed=seed, **sweep_kwargs)
+    return figure
+
+
+def predicted_sensitivity(n_nodes: int = 32, scale: float = 1.0,
+                          names: Optional[Sequence[str]] = None,
+                          parameter: str = "overhead",
+                          values: Optional[Sequence[float]] = None,
+                          seed: int = 0) -> SensitivityFigure:
+    """A predicted Figure 5/6/7/8: one instrumented run per app.
+
+    The simcost counterpart of the figure entry points above: each
+    application is simulated *once* at the baseline with the
+    dependency recorder on, then the whole ``parameter`` sweep is
+    predicted analytically (:func:`repro.harness.sweeps.
+    predicted_sweep`).  The returned figure renders exactly like the
+    simulated one — its sweeps are
+    :class:`~repro.cost.predict.PredictedSweep` objects.
+    """
+    from repro.harness import sweeps as _sweeps
+    from repro.harness.sweeps import predicted_sweep
+    grids = {"overhead": _sweeps.PAPER_OVERHEADS,
+             "gap": _sweeps.PAPER_GAPS,
+             "latency": _sweeps.PAPER_LATENCIES,
+             "bulk_mb_s": _sweeps.PAPER_BANDWIDTHS}
+    if parameter not in grids:
+        raise ValueError(
+            f"parameter must be one of {tuple(grids)}, got {parameter!r}")
+    if values is None:
+        values = grids[parameter]
+    figure = SensitivityFigure(
+        title=f"Predicted sensitivity to {parameter} "
+              f"({n_nodes} nodes, simcost)",
+        x_label=parameter)
+    for app in suite_for(n_nodes, scale=scale, names=names):
+        figure.sweeps[app.name] = predicted_sweep(
+            app, n_nodes, parameter, values, seed=seed)
     return figure
 
 

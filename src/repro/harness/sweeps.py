@@ -22,7 +22,7 @@ from repro.network.faults import DelaySpike, FaultPlan
 from repro.network.loggp import LogGPParams
 
 __all__ = ["SweepPoint", "SweepResult", "FAILURE_CATEGORIES",
-           "run_sweep", "overhead_sweep",
+           "run_sweep", "predicted_sweep", "overhead_sweep",
            "gap_sweep", "latency_sweep", "bulk_bandwidth_sweep",
            "fault_sweep", "spike_decay_sweep", "NO_SPIKE",
            "collective_sweep", "COLLECTIVE_SWEEP_DIALS",
@@ -214,6 +214,44 @@ def run_sweep(app: Application, n_nodes: int, parameter: str,
                             livelock_limit=livelock_limit, window=window,
                             jobs=jobs, cache=cache, fault_for=fault_for,
                             sanitize=sanitize, coll=coll, engine=engine)
+
+
+def predicted_sweep(app: Application, n_nodes: int, parameter: str,
+                    values: Sequence[float],
+                    knob_for: Optional[
+                        Callable[[float], TuningKnobs]] = None,
+                    params: Optional[LogGPParams] = None,
+                    seed: int = 0,
+                    run_limit_us: Optional[float] = None,
+                    livelock_limit: int = 200_000,
+                    window: int = 8,
+                    graph: Optional["CostGraph"] = None,  # noqa: F821
+                    ):
+    """The analytical drop-in for :func:`run_sweep` (simcost).
+
+    One instrumented simulation of ``app`` at the baseline replaces
+    the whole dial sweep: the run's dependency DAG is recorded, then
+    every value of ``parameter`` is predicted by symbolic longest-path
+    replay (see :mod:`repro.cost`).  Returns a
+    :class:`~repro.cost.predict.PredictedSweep`, which reads like a
+    :class:`SweepResult` (``values`` / ``slowdowns`` / ``series`` /
+    ``as_rows``) but reports ``simulations_used`` (1, or 0 when a
+    pre-recorded ``graph`` is supplied) instead of one run per point.
+
+    ``knob_for`` defaults to the shared :func:`knob_factory` dial
+    semantics, so predicted and simulated sweeps dial identically.
+    """
+    from repro.cost.predict import predict_sweep as _predict
+    from repro.cost.recorder import record_run
+    simulations = 0
+    if graph is None:
+        graph, _result = record_run(
+            app, n_nodes, params=params, seed=seed, window=window,
+            run_limit_us=run_limit_us, livelock_limit=livelock_limit)
+        simulations = 1
+    sweep = _predict(graph, parameter, values, knob_for=knob_for)
+    sweep.simulations_used = simulations
+    return sweep
 
 
 def overhead_sweep(app: Application, n_nodes: int,

@@ -20,8 +20,8 @@ from repro.apps import RadixSort
 from repro.cluster.machine import Cluster
 from repro.coll.tuner import CollConfig
 from repro.harness import (CampaignInterrupted, CampaignSpec, ResultStore,
-                           RunCache, overhead_sweep, render_campaign,
-                           run_campaign, sweep_from_store)
+                           RunCache, ensemble_from_store, overhead_sweep,
+                           render_campaign, run_campaign, sweep_from_store)
 from repro.harness import campaign as campaign_mod
 from repro.harness import parallel as parallel_mod
 from repro.harness.parallel import execute_point
@@ -379,6 +379,38 @@ def test_campaign_report_bench_payload(tmp_path):
 # ---------------------------------------------------------------------------
 # Query side: store-generated sweeps match engine-generated ones.
 # ---------------------------------------------------------------------------
+
+def test_ensemble_from_store_mean_and_ci(tmp_path):
+    spec = CampaignSpec(name="ens", apps=("Radix",), node_counts=(4,),
+                        dials=(("overhead", (2.9, 12.9)),),
+                        scale=0.05, seeds=(0, 7))
+    with ResultStore(tmp_path / "s.sqlite") as store:
+        run_campaign(spec, store, jobs=1)
+        ens = ensemble_from_store(store, spec, "Radix", 4, "overhead")
+        # Cross-check against the per-seed series the ensemble is built
+        # from: mean of each seed's own slowdown, CI from their spread.
+        per_seed = [sweep_from_store(store, spec, "Radix", 4, "overhead",
+                                     seed=s).slowdowns()
+                    for s in spec.seeds]
+        means = ens.mean_slowdowns()
+        widths = ens.ci_halfwidths()
+        for i, value in enumerate(ens.values):
+            samples = [s[i] for s in per_seed]
+            assert means[i] == pytest.approx(sum(samples) / len(samples))
+        assert means[0] == pytest.approx(1.0)  # baseline of each seed
+        assert widths[0] == pytest.approx(0.0)
+        assert all(wd >= 0.0 for wd in widths)
+        rows = ens.rows()
+        assert [r["completed_seeds"] for r in rows] == [2, 2]
+        # The rendered campaign carries the ensemble table only for
+        # multi-seed specs.
+        text = render_campaign([spec], store)
+        assert "Seed ensemble (2 seeds" in text
+    single = small_campaign("one", values=(2.9, 12.9))
+    with ResultStore(tmp_path / "one.sqlite") as store:
+        run_campaign(single, store, jobs=1)
+        assert "Seed ensemble" not in render_campaign([single], store)
+
 
 def test_sweep_from_store_matches_direct_sweep(tmp_path):
     values = (2.9, 12.9, 22.9)

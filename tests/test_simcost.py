@@ -1,0 +1,241 @@
+"""simcost: the recorder observes, the replay predicts.
+
+Three contracts pinned here:
+
+1. **Bit-identity** — recording a run changes nothing about it: same
+   ``runtime_us``, same ``events_processed``, same stats dict, and the
+   RunCache key space never mentions the recorder (the simsan
+   precedent).
+2. **Replay fidelity** — re-evaluating the recorded DAG at the
+   *recorded* dials reproduces the measured runtime (near-exactly),
+   and predicted slowdown curves for dialed grids stay within the 10%
+   median-relative-error acceptance gate against real simulations.
+3. **Refusal honesty** — regimes the replay model cannot reproduce
+   (occupancy dial, faults, non-flat fabrics) are refused loudly at
+   record and predict time, never silently mispredicted.
+"""
+
+import inspect
+import json
+import statistics
+
+import pytest
+
+from repro.am.tuning import TuningKnobs
+from repro.apps import Barnes, RadixSort
+from repro.cluster.machine import Cluster
+from repro.cost import (CostGraph, DepRecorder, PredictedSweep,
+                        UnsupportedGraphError, latency_tolerance, lp_bound,
+                        predict_runtime, predict_sweep, record_run)
+from repro.harness.runcache import run_key_spec
+from repro.harness.sweeps import knob_factory, predicted_sweep, run_sweep
+from repro.network.faults import FaultPlan
+
+
+def small_radix():
+    return RadixSort(keys_per_proc=32)
+
+
+def small_barnes():
+    return Barnes(bodies_per_proc=4)
+
+
+@pytest.fixture(scope="module")
+def radix_graph():
+    graph, result = record_run(small_radix(), 4, seed=7)
+    return graph, result
+
+
+@pytest.fixture(scope="module")
+def barnes_graph():
+    graph, result = record_run(small_barnes(), 4, seed=7)
+    return graph, result
+
+
+# ---------------------------------------------------------------------------
+# 1. Observation-only: recording never perturbs the run.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_app", [small_radix, small_barnes],
+                         ids=["radix", "barnes"])
+def test_recorded_run_is_bit_identical_to_plain_run(make_app):
+    plain = Cluster(n_nodes=4, seed=7).run(make_app())
+    recorder = DepRecorder()
+    recorded = Cluster(n_nodes=4, seed=7).run(make_app(),
+                                              recorder=recorder)
+    assert recorded.runtime_us == plain.runtime_us
+    assert recorded.events_processed == plain.events_processed
+    assert recorded.stats.to_dict() == plain.stats.to_dict()
+    assert recorder.graph is not None
+    assert recorder.graph.runtime_us == plain.runtime_us
+
+
+def test_recorder_is_not_part_of_the_cache_key_space():
+    """Like sanitize/engine, recording must not fork the cache."""
+    assert "recorder" not in inspect.signature(run_key_spec).parameters
+    spec = run_key_spec(small_radix(), 4,
+                        Cluster(n_nodes=4).params, TuningKnobs(), seed=7)
+    assert "recorder" not in json.dumps(spec)
+
+
+# ---------------------------------------------------------------------------
+# 2. Replay fidelity.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fixture_name", ["radix_graph", "barnes_graph"])
+def test_baseline_replay_matches_measured_runtime(fixture_name, request):
+    graph, result = request.getfixturevalue(fixture_name)
+    predicted = predict_runtime(graph)
+    assert predicted == pytest.approx(result.runtime_us, rel=0.02)
+
+
+@pytest.mark.parametrize("parameter,values", [
+    ("overhead", (2.9, 12.9, 52.9)),
+    ("latency", (5.0, 15.0, 55.0)),
+], ids=["overhead", "latency"])
+def test_predicted_slowdowns_within_error_gate(radix_graph, parameter,
+                                               values):
+    """Acceptance: median relative error <= 10% on the reduced grid."""
+    graph, _ = radix_graph
+    predicted = predict_sweep(graph, parameter, values)
+    simulated = run_sweep(small_radix(), 4, parameter, values,
+                          knob_factory(parameter, graph.params), seed=7)
+    errs = [abs(p - s) / s
+            for p, s in zip(predicted.slowdowns(), simulated.slowdowns())]
+    assert statistics.median(errs) <= 0.10, errs
+
+
+def test_predicted_sweep_via_harness_entry_point():
+    sweep = predicted_sweep(small_radix(), 4, "overhead",
+                            (2.9, 12.9), seed=7)
+    assert isinstance(sweep, PredictedSweep)
+    assert sweep.simulations_used == 1
+    assert sweep.values() == [2.9, 12.9]
+    slow = sweep.slowdowns()
+    assert slow[0] == pytest.approx(1.0)
+    assert slow[1] > 2.0  # 10 extra us of o each way hurts a 4-node sort
+    assert sweep.series() == list(zip(sweep.values(), slow))
+    rows = sweep.as_rows()
+    assert rows[0]["app"] == sweep.app_name
+    assert all(row["failure"] == "" for row in rows)  # never fails: no sim
+
+
+def test_predicted_sweep_reuses_supplied_graph(radix_graph):
+    graph, _ = radix_graph
+    sweep = predicted_sweep(small_radix(), 4, "gap", (5.8, 55.0),
+                            seed=7, graph=graph)
+    assert sweep.simulations_used == 0  # no new simulation at all
+    assert sweep.slowdowns()[1] > 1.0
+
+
+def test_latency_tolerance_and_lp_bound(radix_graph):
+    graph, result = radix_graph
+    crossing = latency_tolerance(graph, "overhead", threshold=2.0)
+    assert crossing is not None and crossing > graph.params.overhead
+    # The crossing is self-consistent: replaying at it gives ~2x.
+    knobs = knob_factory("overhead", graph.params)(crossing)
+    baseline = predict_runtime(graph)
+    assert predict_runtime(graph, knobs) / baseline == \
+        pytest.approx(2.0, rel=0.02)
+    # The LP lower bound never exceeds the critical-path estimate.
+    assert lp_bound(graph) <= baseline + 1e-9
+    assert lp_bound(graph) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Graph serialisation.
+# ---------------------------------------------------------------------------
+
+def test_graph_json_round_trip(radix_graph):
+    graph, _ = radix_graph
+    clone = CostGraph.from_json(graph.to_json())
+    assert clone.to_dict() == graph.to_dict()
+    assert clone.counts() == graph.counts()
+    assert predict_runtime(clone) == predict_runtime(graph)
+
+
+def test_graph_schema_mismatch_refuses(radix_graph):
+    graph, _ = radix_graph
+    payload = graph.to_dict()
+    payload["schema"] = "repro-cost-graph-v0"
+    with pytest.raises(ValueError, match="schema"):
+        CostGraph.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# 3. Refusal honesty: unsupported regimes fail loudly.
+# ---------------------------------------------------------------------------
+
+def test_predict_refuses_occupancy_dial(radix_graph):
+    graph, _ = radix_graph
+    with pytest.raises(UnsupportedGraphError):
+        predict_runtime(graph, TuningKnobs(delta_occ=1.0))
+
+
+def test_record_refuses_occupancy_dialed_cluster():
+    with pytest.raises(ValueError, match="delta_occ"):
+        Cluster(n_nodes=4, seed=7,
+                knobs=TuningKnobs(delta_occ=1.0)).run(
+            small_radix(), recorder=DepRecorder())
+
+
+def test_record_refuses_faulty_and_nonflat_fabrics():
+    plan = FaultPlan(drop_rate=0.01)
+    with pytest.raises(ValueError, match="fault"):
+        Cluster(n_nodes=4, seed=7, faults=plan).run(
+            small_radix(), recorder=DepRecorder())
+    with pytest.raises(ValueError, match="flat"):
+        Cluster(n_nodes=4, seed=7, fabric="ethernet").run(
+            small_radix(), recorder=DepRecorder())
+
+
+def test_recorder_is_single_use(radix_graph):
+    recorder = DepRecorder()
+    Cluster(n_nodes=4, seed=7).run(small_radix(), recorder=recorder)
+    with pytest.raises(RuntimeError):
+        Cluster(n_nodes=4, seed=7).run(small_radix(), recorder=recorder)
+
+
+# ---------------------------------------------------------------------------
+# CLI contract: exit 0 / 1 / 2.
+# ---------------------------------------------------------------------------
+
+def test_cli_predict_json_payload(tmp_path, capsys):
+    from repro.cost.cli import main
+    out = tmp_path / "radix.json"
+    main(["record", "--app", "Radix", "--nodes", "4", "--scale", "0.05",
+          "--seed", "7", "--out", str(out)])
+    capsys.readouterr()
+    assert main(["predict", str(out), "--parameter", "overhead",
+                 "--values", "2.9,12.9", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-simcost-predict-v1"
+    assert payload["simulations_used"] == 0
+    assert [p["value"] for p in payload["points"]] == [2.9, 12.9]
+    assert payload["points"][0]["slowdown"] == pytest.approx(1.0)
+
+
+def test_cli_report_gates_on_median_error(tmp_path, capsys):
+    from repro.cost.cli import main
+    argv = ["report", "--apps", "Radix", "--nodes", "4", "--scale",
+            "0.002", "--seed", "7", "--parameter", "overhead",
+            "--values", "2.9,12.9,22.9", "--no-cache",
+            "--bench-out", str(tmp_path / "bench.json")]
+    assert main(argv + ["--max-median-error", "0.10"]) == 0
+    bench = json.loads((tmp_path / "bench.json").read_text())
+    assert bench["schema"] == "repro-simcost-bench-v1"
+    assert bench["recordings"] == 1
+    assert bench["predicted_points"] == 3
+    assert bench["simulations_avoided_ratio"] == 3.0
+    assert bench["median_rel_err"] <= 0.10
+    capsys.readouterr()
+    # An impossible gate turns the same report into exit 1.
+    assert main(argv + ["--max-median-error", "-1.0"]) == 1
+
+
+def test_cli_usage_errors_exit_2(capsys):
+    from repro.cost.cli import main
+    assert main(["report", "--apps", " ", "--no-cache"]) == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main(["predict"])  # missing required graph path
+    assert excinfo.value.code == 2

@@ -141,6 +141,43 @@ def test_module_mutable_state_only_fires_under_apps():
     assert analyze_source(source, default_rules()) == []
 
 
+# -- dial-cost pack ---------------------------------------------------------
+
+def test_dialcost_bad_fixture_golden_findings():
+    findings = findings_for("network/dialcost_bad.py")
+    assert lines_by_rule(findings, "untracked-dial-cost") == [5, 6, 11]
+    assert len(findings) == 3
+
+
+def test_dialcost_good_fixture_is_clean():
+    assert findings_for("network/dialcost_good.py") == []
+
+
+def test_dialcost_only_fires_under_am_or_network():
+    """The same content outside am//network/ is not this rule's beat."""
+    from repro.analysis.core import SourceFile, analyze_source
+    text = (FIXTURES / "network" / "dialcost_bad.py").read_text()
+    for path in ("apps/radix.py", "harness/sweeps.py"):
+        source = SourceFile(path, text)
+        findings = analyze_source(source, default_rules())
+        assert lines_by_rule(findings, "untracked-dial-cost") == []
+    source = SourceFile("am/layer.py", text)
+    findings = analyze_source(source, default_rules())
+    assert lines_by_rule(findings, "untracked-dial-cost") == [5, 6, 11]
+
+
+def test_dialcost_real_messaging_layers_are_clean():
+    """The shipped am/ and network/ trees must satisfy their own rule."""
+    import pathlib
+    import repro
+    root = pathlib.Path(repro.__file__).parent
+    for layer in ("am", "network"):
+        for path in sorted((root / layer).glob("*.py")):
+            findings = analyze_file(path, default_rules())
+            assert lines_by_rule(findings, "untracked-dial-cost") == [], \
+                f"{path} charges a hard-coded duration"
+
+
 # -- rule catalogue ---------------------------------------------------------
 
 def test_every_rule_has_at_least_one_failing_fixture():
@@ -148,7 +185,7 @@ def test_every_rule_has_at_least_one_failing_fixture():
     all_findings = []
     for name in ("determinism_bad.py", "spmd_bad.py",
                  "handler_purity_bad.py", "hygiene_bad.py",
-                 "apps/stateful_module.py"):
+                 "apps/stateful_module.py", "network/dialcost_bad.py"):
         all_findings.extend(findings_for(name))
     fired = {f.rule for f in all_findings}
     from repro.analysis import all_rules
@@ -160,6 +197,7 @@ def test_every_rule_has_at_least_one_failing_fixture():
                                   "handler_purity_good.py",
                                   "hygiene_good.py",
                                   "coll_good.py",
+                                  "network/dialcost_good.py",
                                   "suppressed.py"])
 def test_clean_fixtures_produce_no_findings(name):
     assert findings_for(name) == []
