@@ -182,6 +182,13 @@ class AmLayer:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed(None)
 
+    def kick(self) -> None:
+        """Public wakeup: make a parked :meth:`wait_until` re-check its
+        predicate *now*.  For simulator processes outside the rank set
+        (e.g. the serving client tier) that change state a host loop is
+        waiting on without sending it a message."""
+        self._kick()
+
     def _arm_wakeup(self):
         self._wakeup = self.sim.event(name=f"am-wakeup[{self.node_id}]")
         return self._wakeup

@@ -29,6 +29,12 @@ class Application(abc.ABC):
     #: Display name (Table 3/4 row label).
     name: str = "app"
 
+    #: True for open-system workloads (request arrivals injected from
+    #: outside the rank set, e.g. :mod:`repro.serve`).  Analysis tiers
+    #: that model only the closed SPMD dependency graph — simcost's
+    #: recorder/replay — refuse such runs instead of mispredicting.
+    open_system: bool = False
+
     def configure(self, n_nodes: int, seed: int) -> None:
         """Build this run's input deterministically.  Called every run, so
         stale state from a previous run must be reset here."""

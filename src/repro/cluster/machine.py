@@ -233,6 +233,12 @@ class Cluster:
             # The replay model (repro.cost.predict) covers exactly the
             # flat reliable fabric with an undialed receive context;
             # refuse regimes whose scheduling it cannot reproduce.
+            if getattr(app, "open_system", False):
+                from repro.cost.predict import UnsupportedGraphError
+                raise UnsupportedGraphError(
+                    f"simcost cannot record open-system app "
+                    f"{app.name!r}: arrivals from outside the rank set "
+                    f"have no closed dependency graph to replay")
             if self.fabric != "flat":
                 raise ValueError(
                     f"simcost recording requires the flat fabric, "

@@ -141,6 +141,13 @@ def record_run(app, n_nodes: int, params=None, knobs=None, seed: int = 0,
     from repro.am.layer import DEFAULT_WINDOW
     from repro.cluster.machine import Cluster
 
+    if getattr(app, "open_system", False):
+        from repro.cost.predict import UnsupportedGraphError
+        raise UnsupportedGraphError(
+            f"simcost cannot record open-system app {app.name!r}: "
+            "request arrivals come from outside the rank set, so the "
+            "closed SPMD dependency graph the replay re-weights does "
+            "not exist — run a real serving sweep instead")
     cluster = Cluster(
         n_nodes=n_nodes, params=params, knobs=knobs, seed=seed,
         window=window if window is not None else DEFAULT_WINDOW,

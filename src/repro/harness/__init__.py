@@ -14,7 +14,8 @@
   the cache: argument-product specs, crash-safe execution, and
   query-side artifact generation.
 * :mod:`repro.harness.experiments` -- one entry point per table/figure
-  of the paper's evaluation.
+  of the paper's evaluation (plus Figure 11, the open-system serving
+  artifact over :mod:`repro.serve`).
 * :mod:`repro.harness.report` -- ASCII tables and line plots.
 """
 
@@ -31,7 +32,8 @@ from repro.harness.campaign import (CampaignSpec, CampaignReport,
                                     CampaignInterrupted, EnsembleSweep,
                                     ensemble_from_store, run_campaign,
                                     sweep_from_store, figure_from_store,
-                                    render_campaign)
+                                    render_campaign, CAMPAIGN_DIALS,
+                                    SERVING_CAMPAIGN_DIALS)
 from repro.harness.report import ascii_plot, render_table
 from repro.harness.config import ExperimentConfig
 from repro.harness.surface import sensitivity_surface, overhead_gap_surface
@@ -45,6 +47,7 @@ __all__ = ["suite_for", "REFERENCE_NODES", "SweepPoint", "SweepResult",
            "run_experiments_parallel", "RunCache", "ResultStore",
            "CampaignSpec", "CampaignReport", "CampaignInterrupted",
            "run_campaign", "sweep_from_store", "figure_from_store",
+           "CAMPAIGN_DIALS", "SERVING_CAMPAIGN_DIALS",
            "EnsembleSweep", "ensemble_from_store",
            "render_campaign", "ascii_plot",
            "render_table", "ExperimentConfig", "sensitivity_surface",

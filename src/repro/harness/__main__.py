@@ -18,6 +18,11 @@ from a JSON file against a sqlite result store instead::
 
 Killing a campaign mid-run loses nothing: every completed point is
 already in the store, and the same command resumes where it stopped.
+
+Store maintenance prunes finished campaigns and compacts the file::
+
+    python -m repro.harness --store-gc --store results.sqlite \\
+        --prune old-campaign-1 old-campaign-2
 """
 
 from __future__ import annotations
@@ -61,6 +66,8 @@ ARTIFACTS = {
         n_nodes=nodes),
     "table8": lambda nodes, scale: experiments.table8_coll_tuner(
         n_nodes=nodes),
+    "figure11": lambda nodes, scale: experiments.figure11_serving(
+        n_nodes=nodes, scale=scale),
     "surface": lambda nodes, scale: _surface(nodes, scale),
     # simcost: the overhead sweep predicted from one recorded run per
     # app instead of one simulation per (app, value) point.
@@ -98,6 +105,21 @@ def run_campaign_cli(args) -> int:
     return 0
 
 
+def store_gc_cli(args) -> int:
+    """The ``--store-gc`` mode: prune campaigns and compact the store."""
+    from repro.harness.store import ResultStore
+    with ResultStore(args.store) as store:
+        if args.prune:
+            for campaign in args.prune:
+                removed = store.prune(campaign)
+                print(f"pruned {removed} point(s) of campaign "
+                      f"{campaign!r}")
+        store.vacuum()
+        print(f"vacuumed {store.path}")
+        print(store.describe())
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments, regenerate the selected artifacts."""
     parser = argparse.ArgumentParser(
@@ -131,8 +153,19 @@ def main(argv=None) -> int:
                           "to this markdown file")
     campaign.add_argument("--bench-out", type=pathlib.Path, default=None,
                           help="write the campaign's BENCH JSON here")
+    campaign.add_argument("--store-gc", action="store_true",
+                          help="garbage-collect the result store: prune "
+                          "the campaigns named by --prune, then VACUUM")
+    campaign.add_argument("--prune", nargs="*", default=None,
+                          metavar="CAMPAIGN",
+                          help="campaign names to delete during "
+                          "--store-gc (omit to only VACUUM)")
     args = parser.parse_args(argv)
 
+    if args.store_gc:
+        if args.store is None:
+            parser.error("--store-gc needs --store")
+        return store_gc_cli(args)
     if args.campaign is not None:
         if args.store is None:
             parser.error("--campaign needs --store")

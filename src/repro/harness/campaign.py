@@ -65,11 +65,16 @@ from repro.network.faults import DelaySpike, FaultPlan, SlowdownWindow
 __all__ = ["CampaignSpec", "CampaignPoint", "CampaignReport",
            "CampaignInterrupted", "run_campaign", "sweep_from_store",
            "EnsembleSweep", "ensemble_from_store",
-           "figure_from_store", "render_campaign", "CAMPAIGN_DIALS"]
+           "figure_from_store", "render_campaign", "CAMPAIGN_DIALS",
+           "SERVING_CAMPAIGN_DIALS"]
 
 #: Dials a campaign can sweep: the paper's four machine dials plus the
 #: fault injector's drop rate (Figure 9).
 CAMPAIGN_DIALS = MACHINE_DIALS + ("drop_rate",)
+
+#: Additionally sweepable when the campaign declares a ``workload``
+#: (open-system serving): the client tier's offered load.
+SERVING_CAMPAIGN_DIALS = CAMPAIGN_DIALS + ("offered_rps",)
 
 
 class CampaignInterrupted(RuntimeError):
@@ -126,6 +131,14 @@ class CampaignSpec:
     coll: Optional[Any] = None
     #: Simulator scheduling engine (bit-identical tiers; never keyed).
     engine: Optional[str] = None
+    #: Open-system serving workload: the constructor-knob dict a
+    #: :func:`repro.serve.apps.serving_app_from_dict` builds from
+    #: (``{"app": "kvserve", ...}``).  When set, ``apps`` must name
+    #: exactly that scenario, the ``offered_rps`` dial becomes
+    #: sweepable, and ``scale`` does not apply (the client tier's own
+    #: knobs size the run).  Stored as a sorted key/value tuple so the
+    #: spec stays frozen/hashable; ``to_dict`` round-trips the dict.
+    workload: Optional[Any] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", tuple(self.apps))
@@ -133,16 +146,30 @@ class CampaignSpec:
         object.__setattr__(self, "dials", tuple(
             (parameter, tuple(values)) for parameter, values in self.dials))
         object.__setattr__(self, "seeds", tuple(self.seeds))
+        if self.workload is not None:
+            workload = dict(self.workload)
+            object.__setattr__(self, "workload", tuple(
+                (str(key), workload[key]) for key in sorted(workload)))
+            if "app" not in workload:
+                raise ValueError(
+                    "workload needs an 'app' key naming the serving "
+                    "scenario (see repro.serve.SERVING_APPS)")
+            if self.apps != (workload["app"],):
+                raise ValueError(
+                    f"a workload campaign's apps must be exactly "
+                    f"({workload['app']!r},), got {self.apps}")
         if not self.name:
             raise ValueError("campaign needs a non-empty name")
         if self.machine not in MACHINE_PRESETS:
             raise ValueError(
                 f"unknown machine preset {self.machine!r}; "
                 f"one of {sorted(MACHINE_PRESETS)}")
+        allowed = (SERVING_CAMPAIGN_DIALS if self.workload is not None
+                   else CAMPAIGN_DIALS)
         for parameter, values in self.dials:
-            if parameter not in CAMPAIGN_DIALS:
+            if parameter not in allowed:
                 raise ValueError(
-                    f"unknown dial {parameter!r}; one of {CAMPAIGN_DIALS}")
+                    f"unknown dial {parameter!r}; one of {allowed}")
             if not values:
                 raise ValueError(f"dial {parameter!r} has no values")
 
@@ -166,16 +193,31 @@ class CampaignSpec:
         points: List[CampaignPoint] = []
         for app_name, n_nodes in itertools.product(self.apps,
                                                    self.node_counts):
-            app = suite_for(n_nodes, scale=self.scale,
-                            names=[app_name])[0]
+            if self.workload is not None:
+                from repro.serve.apps import serving_app_from_dict
+                app = serving_app_from_dict(dict(self.workload))
+            else:
+                app = suite_for(n_nodes, scale=self.scale,
+                                names=[app_name])[0]
             for (parameter, values), seed in itertools.product(
                     self.dials, self.seeds):
+                def app_for(_value: float) -> Any:
+                    return app
                 if parameter == "drop_rate":
                     def knob_for(_value: float) -> TuningKnobs:
                         return TuningKnobs()
 
                     def fault_for(value: float) -> FaultPlan:
                         return base_plan.with_changes(drop_rate=value)
+                elif parameter == "offered_rps":
+                    def knob_for(_value: float) -> TuningKnobs:
+                        return TuningKnobs()
+
+                    def fault_for(_value: float) -> Optional[FaultPlan]:
+                        return self.faults
+
+                    def app_for(value: float) -> Any:
+                        return app.with_changes(offered_rps=value)
                 else:
                     knob_for = knob_factory(parameter, params)
 
@@ -183,7 +225,7 @@ class CampaignSpec:
                         return self.faults
                 for value in values:
                     task = PointTask(
-                        app=app, n_nodes=n_nodes, value=value,
+                        app=app_for(value), n_nodes=n_nodes, value=value,
                         knobs=knob_for(value), params=params, seed=seed,
                         run_limit_us=self.run_limit_us,
                         livelock_limit=self.livelock_limit,
@@ -218,6 +260,8 @@ class CampaignSpec:
             "coll": (dataclasses.asdict(self.coll)
                      if self.coll is not None else None),
             "engine": self.engine,
+            "workload": (dict(self.workload)
+                         if self.workload is not None else None),
         }
 
     @classmethod
@@ -253,7 +297,8 @@ class CampaignSpec:
             run_limit_us=data.get("run_limit_us"),
             livelock_limit=data.get("livelock_limit", 200_000),
             window=data.get("window", 8),
-            faults=faults, coll=coll, engine=data.get("engine"))
+            faults=faults, coll=coll, engine=data.get("engine"),
+            workload=data.get("workload"))
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -623,7 +668,8 @@ class CampaignFigure:
 _DIAL_LABELS = {"overhead": "overhead (us)", "gap": "gap (us)",
                 "latency": "latency (us)",
                 "bulk_mb_s": "bulk bandwidth (MB/s)",
-                "drop_rate": "drop rate"}
+                "drop_rate": "drop rate",
+                "offered_rps": "offered load (req/s)"}
 
 
 def figure_from_store(store: ResultStore, spec: CampaignSpec,

@@ -40,6 +40,7 @@ __all__ = [
     "predicted_sensitivity",
     "figure9_faults", "table7_spike_decay",
     "figure10_collectives", "table8_coll_tuner",
+    "figure11_serving",
 ]
 
 
@@ -643,3 +644,129 @@ def table8_coll_tuner(n_nodes: int = 32,
         title=f"Table 8 ({n_nodes} nodes): model-driven algorithm "
               f"selection vs measured winners",
         parameter="size", rows_=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 -- the SLO-vs-throughput curve of the serving workload, as a
+# function of the machine dials and the drop rate (the paper's
+# sensitivity question asked of an open system).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServingFigure:
+    """Figure 11: serving-tail sensitivity plus SLO-knee curves.
+
+    ``dial_sweeps`` holds one serving sweep per dialed axis (overhead,
+    latency, drop rate, offered load) at the baseline machine;
+    ``knee_sweeps`` holds one offered-load sweep per overhead setting,
+    from which :meth:`knees` reads the largest offered load still
+    meeting the p999 SLO — the crossover EXPERIMENTS.md documents is
+    how that knee collapses as overhead grows.
+    """
+
+    title: str
+    slo_us: float
+    dial_sweeps: Dict[str, SweepResult] = field(default_factory=dict)
+    knee_sweeps: Dict[float, SweepResult] = field(default_factory=dict)
+
+    def rows(self) -> List[dict]:
+        """Every sweep's SLO rows, tagged by axis."""
+        from repro.serve.sweep import serving_rows
+        rows = []
+        for parameter, sweep in self.dial_sweeps.items():
+            for row in serving_rows(sweep):
+                rows.append({"axis": parameter, **row})
+        for overhead, sweep in sorted(self.knee_sweeps.items()):
+            for row in serving_rows(sweep):
+                rows.append({"axis": f"offered_rps@o={overhead:g}",
+                             **row})
+        return rows
+
+    def knees(self) -> Dict[float, Optional[float]]:
+        """Per-overhead SLO knee: the largest offered load whose run
+        stayed unsaturated with p999 within the SLO (None if even the
+        lowest offered point violates it)."""
+        knees: Dict[float, Optional[float]] = {}
+        for overhead, sweep in self.knee_sweeps.items():
+            knee = None
+            for point in sweep.points:
+                if not point.completed:
+                    continue
+                serving = getattr(point.result.stats, "serving", None)
+                if serving is None or serving.verdict != "ok":
+                    continue
+                p999 = serving.p999_us
+                if p999 is not None and p999 <= self.slo_us:
+                    knee = (point.value if knee is None
+                            else max(knee, point.value))
+            knees[overhead] = knee
+        return knees
+
+    def render(self) -> str:
+        """SLO tables per axis plus the overhead-vs-knee summary."""
+        out = [self.title, ""]
+        for parameter, sweep in self.dial_sweeps.items():
+            from repro.serve.sweep import serving_rows
+            out.append(render_table(
+                serving_rows(sweep),
+                title=f"serving tail vs {parameter} "
+                      f"(SLO {self.slo_us:g}us)"))
+            out.append("")
+        if self.knee_sweeps:
+            knee_rows = [
+                {"overhead_us": overhead,
+                 "slo_knee_rps": ("none" if knee is None
+                                  else f"{knee:g}")}
+                for overhead, knee in sorted(self.knees().items())]
+            out.append(render_table(
+                knee_rows,
+                title=f"offered load sustaining p999 <= "
+                      f"{self.slo_us:g}us, by overhead"))
+        return "\n".join(out).rstrip() + "\n"
+
+
+def figure11_serving(n_nodes: int = 32, scale: float = 1.0,
+                     overheads: Sequence[float] = (2.9, 10.0, 25.0),
+                     latencies: Sequence[float] = (5.7, 30.0, 100.0),
+                     drop_rates: Sequence[float] = (0.0, 0.01, 0.05),
+                     offered: Optional[Sequence[float]] = None,
+                     knee_overheads: Sequence[float] = (2.9, 10.0, 25.0),
+                     seed: int = 0,
+                     cache: Optional["RunCache"] = None,  # noqa: F821
+                     **workload) -> ServingFigure:
+    """Figure 11: tail latency and goodput of the serving workload.
+
+    One :class:`~repro.serve.apps.KVServe` scenario is swept along
+    overhead, latency, drop rate, and offered load; then the
+    offered-load sweep is repeated at each ``knee_overheads`` setting
+    to locate the SLO knee.  ``scale`` multiplies the request budget;
+    extra keywords override workload knobs (``service_us``,
+    ``slo_us``, ...).  Fully cache-served on reruns.
+    """
+    from repro.harness.sweeps import knob_factory
+    from repro.serve.apps import KVServe
+    from repro.serve.sweep import OFFERED_LOAD_GRID, serving_sweep
+    params = LogGPParams.berkeley_now()
+    knobs = {"offered_rps": 400_000.0, "duration_us": 20_000.0,
+             "max_requests": max(50, int(round(600 * scale))),
+             "n_users": 1_000_000, "service_us": 4.0, "slo_us": 250.0}
+    knobs.update(workload)
+    app = KVServe(**knobs)
+    offered = tuple(offered) if offered is not None else OFFERED_LOAD_GRID
+    figure = ServingFigure(
+        title=f"Figure 11 ({n_nodes} nodes): serving tail latency vs "
+              f"machine dials ({app.tier().describe()})",
+        slo_us=app.slo_us)
+    for parameter, values in (("overhead", overheads),
+                              ("latency", latencies),
+                              ("drop_rate", drop_rates),
+                              ("offered_rps", offered)):
+        figure.dial_sweeps[parameter] = serving_sweep(
+            app, n_nodes, parameter, values, params=params, seed=seed,
+            cache=cache)
+    for overhead in knee_overheads:
+        figure.knee_sweeps[overhead] = serving_sweep(
+            app, n_nodes, "offered_rps", offered, params=params,
+            seed=seed, cache=cache,
+            knobs=knob_factory("overhead", params)(overhead))
+    return figure

@@ -143,7 +143,9 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
                          Callable[[float], Optional[FaultPlan]]] = None,
                      sanitize: bool = False,
                      coll: Optional[Any] = None,
-                     engine: Optional[str] = None) -> SweepResult:
+                     engine: Optional[str] = None,
+                     app_for: Optional[
+                         Callable[[float], Any]] = None) -> SweepResult:
     """The sweep engine behind :func:`repro.harness.sweeps.run_sweep`.
 
     ``jobs=None`` or ``jobs<=1`` runs points serially in-process;
@@ -167,12 +169,19 @@ def run_sweep_points(app: Any, n_nodes: int, parameter: str,
     (see :data:`repro.sim.ENGINES`).  Engines are bit-identical, so the
     knob is deliberately not part of the cache key: a result computed
     under one engine is valid for all of them.
+
+    ``app_for`` maps each dialed value to the application instance for
+    that point, for sweeps whose axis is an *application* knob rather
+    than a machine dial — e.g. the serving tier's offered-load axis.
+    The per-point app participates in the cache key via its
+    fingerprint, so such sweeps cache exactly like dial sweeps.
     """
     params = params if params is not None else LogGPParams.berkeley_now()
     if sanitize:
         cache = None
     tasks = [
-        PointTask(app=app, n_nodes=n_nodes, value=value,
+        PointTask(app=app_for(value) if app_for is not None else app,
+                  n_nodes=n_nodes, value=value,
                   knobs=knob_for(value), params=params, seed=seed,
                   run_limit_us=run_limit_us,
                   livelock_limit=livelock_limit, window=window,

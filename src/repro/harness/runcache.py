@@ -37,7 +37,8 @@ from repro.cluster.machine import RunResult
 from repro.cluster.node import CostModel
 from repro.network.loggp import LogGPParams
 
-__all__ = ["RunCache", "run_key_spec", "app_fingerprint"]
+__all__ = ["RunCache", "run_key_spec", "app_fingerprint",
+           "constructor_params"]
 
 #: Bump to invalidate every existing cache entry when the simulator's
 #: event semantics change in a way that alters measured runtimes (or,
@@ -45,21 +46,44 @@ __all__ = ["RunCache", "run_key_spec", "app_fingerprint"]
 CACHE_FORMAT = 3
 
 
+def constructor_params(app_class: type) -> Tuple[str, ...]:
+    """Named constructor parameters of ``app_class``, across its MRO.
+
+    Walks every ``__init__`` in the class hierarchy (most-derived
+    first) so a subclass that forwards ``**kwargs`` to its base still
+    exposes the base's knobs — a subclass whose extra knobs ride on
+    ``**kwargs`` must not silently shrink its cache identity.  ``self``
+    and ``*args``/``**kwargs`` catch-alls are never parameters.
+    """
+    names = []
+    for klass in app_class.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        for parameter in inspect.signature(init).parameters.values():
+            if parameter.name == "self" or parameter.kind in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD):
+                continue
+            if parameter.name not in names:
+                names.append(parameter.name)
+    return tuple(names)
+
+
 def app_fingerprint(app: Any) -> Dict[str, Any]:
     """A stable description of an application instance's configuration.
 
     Mirrors :meth:`repro.harness.config.ExperimentConfig.from_run`: the
-    constructor-signature parameters that exist as instance attributes
-    are the app's input configuration (all suite apps follow this
+    constructor-signature parameters (across the MRO — see
+    :func:`constructor_params`) that exist as instance attributes are
+    the app's input configuration (all suite apps follow this
     convention).  Values that are not JSON types are keyed by ``repr``.
     """
     app_class = type(app)
     kwargs = {}
-    for parameter in inspect.signature(app_class.__init__).parameters.values():
-        if parameter.name == "self":
-            continue
-        if hasattr(app, parameter.name):
-            kwargs[parameter.name] = getattr(app, parameter.name)
+    for name in constructor_params(app_class):
+        if hasattr(app, name):
+            kwargs[name] = getattr(app, name)
     return {
         "class": f"{app_class.__module__}.{app_class.__qualname__}",
         "name": app.name,

@@ -215,6 +215,29 @@ class ResultStore:
             yield StoredPoint(campaign_, key, app_, nodes, dial, value,
                               seed_, failure, result)
 
+    # -- garbage collection ------------------------------------------------
+    def prune(self, campaign: str) -> int:
+        """Delete every stored point of one campaign; returns the count.
+
+        One committed transaction: either all of the campaign's rows
+        are gone or none are.  Other campaigns' rows are untouched.
+        Space is only returned to the filesystem by :meth:`vacuum`.
+        """
+        with self._db:
+            cursor = self._db.execute(
+                "DELETE FROM results WHERE campaign=?", (campaign,))
+        return cursor.rowcount
+
+    def vacuum(self) -> None:
+        """Compact the database file after pruning (sqlite VACUUM).
+
+        Runs outside any transaction (sqlite requires it) and blocks
+        concurrent writers for the duration — call it from maintenance
+        paths like ``python -m repro.harness --store-gc``, not from a
+        live campaign.
+        """
+        self._db.execute("VACUUM")
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         self._db.close()

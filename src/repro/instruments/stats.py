@@ -60,6 +60,12 @@ class ClusterStats:
         #: Counters only accumulate inside the measured region, so
         #: untimed setup traffic does not pollute Table 4.
         self.enabled = False
+        #: Optional open-system SLO instruments
+        #: (:class:`~repro.serve.metrics.ServingMetrics`), attached by
+        #: serving apps at setup.  None for every closed BSP run, and
+        #: serialized only when present, so legacy runs stay
+        #: byte-identical on disk.
+        self.serving = None
 
     # -- measured-region control --------------------------------------------
     def start_measurement(self, now: float) -> None:
@@ -236,6 +242,10 @@ class ClusterStats:
         data["collective_bytes"] = {
             key: arr.tolist()
             for key, arr in sorted(self.collective_bytes.items())}
+        # Key present only for serving runs: closed-run serializations
+        # (and their pinned cache payload hashes) stay byte-identical.
+        if self.serving is not None:
+            data["serving"] = self.serving.to_dict()
         return data
 
     @classmethod
@@ -255,6 +265,9 @@ class ClusterStats:
                 key: np.asarray(values, dtype=np.int64)
                 for key, values in data.get(field_name, {}).items()}
             setattr(stats, field_name, restored)
+        if data.get("serving") is not None:
+            from repro.serve.metrics import ServingMetrics
+            stats.serving = ServingMetrics.from_dict(data["serving"])
         return stats
 
     def per_node_rows(self) -> List[dict]:

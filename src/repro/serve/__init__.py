@@ -1,0 +1,33 @@
+"""repro.serve — the open-system serving workload family.
+
+The paper's sensitivity question (how do o, g, L, and G shift delivered
+performance?) asked of a serving system instead of a batch suite: a
+seeded client tier injects open arrivals from millions of simulated
+users (:mod:`repro.serve.clients`) into sharded key-value and
+scatter-gather services running over the AM layer
+(:mod:`repro.serve.apps`), while streaming SLO instruments record
+p50/p99/p999 latency, queue depths, utilization, and saturation
+(:mod:`repro.serve.metrics`).  :mod:`repro.serve.sweep` sweeps the
+machine dials, the drop rate, or the offered load itself.
+
+Everything is bit-identical rerun-to-rerun (seeded arrivals, seeded
+load balancing, deterministic sketch), so the RunCache / ResultStore /
+campaign machinery applies to serving runs by construction.
+"""
+
+from repro.serve.apps import (LOAD_BALANCE_POLICIES, REPLICATION_POLICIES,
+                              SERVING_APPS, FanoutServe, KVServe,
+                              ServingApp, serving_app_from_dict)
+from repro.serve.clients import ARRIVAL_PROCESSES, ClientTier, Request
+from repro.serve.metrics import LatencySketch, ServingMetrics
+from repro.serve.sweep import (OFFERED_LOAD_GRID, SERVING_DIALS,
+                               serving_rows, serving_sweep)
+
+__all__ = [
+    "ARRIVAL_PROCESSES", "ClientTier", "Request",
+    "LatencySketch", "ServingMetrics",
+    "ServingApp", "KVServe", "FanoutServe", "SERVING_APPS",
+    "serving_app_from_dict", "LOAD_BALANCE_POLICIES",
+    "REPLICATION_POLICIES",
+    "SERVING_DIALS", "OFFERED_LOAD_GRID", "serving_sweep", "serving_rows",
+]

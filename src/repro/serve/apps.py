@@ -1,0 +1,515 @@
+"""Sharded request-serving applications over the AM layer.
+
+Two service apps turn the cluster into an open system:
+
+* :class:`KVServe` -- a sharded key-value store.  Keys hash to a
+  primary shard per rank; with ``replication="primary-backup"`` every
+  write is client-replicated to the primary *and* its backup (GAM
+  handlers may only reply, so replication fan-out happens at the
+  issuing frontend, Dynamo-style), and with ``read_anywhere`` reads
+  pick either replica under the load-balance policy.
+* :class:`FanoutServe` -- a scatter-gather RPC service: each request
+  fans out to ``fanout`` distinct shards and completes when the last
+  reply lands, the classic tail-latency amplifier.
+
+Both run as ordinary :class:`~repro.apps.base.Application`\\ s, so they
+inherit the whole substrate unchanged: the NIC pipeline and o/g/L/G
+dials, per-destination flow-control credits (the backpressure under
+overload), fault injection + ARQ, simsan, and the tuned collectives.
+
+Execution model (see ARCHITECTURE.md section 17): the client tier is
+one extra simulator process *outside the rank set* — it walks the
+seeded arrival trace, charges no host time, and appends each request
+to a frontend rank's queue chosen by the **load-balance policy**
+(random / round-robin / least-loaded over live frontend depths).
+Every rank runs the same SPMD loop: dispatch pending client requests
+split-phase (so one frontend keeps many requests in flight) and
+service incoming shard requests.  Requests complete on the frontend
+when the last sub-reply arrives; latency is measured from *arrival*,
+so client-side queueing counts, as it must in an open system.
+
+Saturation is a structured outcome, not a livelock: when the global
+backlog (injected − completed − dropped) exceeds ``max_backlog`` the
+client tier stops injecting, frontends drop their queued remainder,
+and the run completes normally with ``metrics.verdict == "saturated"``.
+
+Determinism: the trace, the load-balancer's RNG, and every tie-break
+derive from the run seed, so serving runs are bit-identical
+rerun-to-rerun and cache/campaign machinery applies by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.apps.base import Application
+from repro.serve.clients import ARRIVAL_PROCESSES, ClientTier, Request
+from repro.serve.metrics import ServingMetrics
+
+__all__ = ["ServingApp", "KVServe", "FanoutServe", "SERVING_APPS",
+           "serving_app_from_dict", "LOAD_BALANCE_POLICIES",
+           "REPLICATION_POLICIES"]
+
+#: How the client tier picks a frontend (and reads pick a replica).
+LOAD_BALANCE_POLICIES = ("random", "round-robin", "least-loaded")
+
+#: KV replication modes.
+REPLICATION_POLICIES = ("none", "primary-backup")
+
+
+# ---------------------------------------------------------------------------
+# Service handlers (module level, GAM rules: reply only, never request).
+# ---------------------------------------------------------------------------
+
+def _kv_apply(store: Dict[int, int], key: int, write: bool) -> int:
+    """The key-value shard operation itself (shared local/remote)."""
+    if write:
+        store[key] = store.get(key, 0) + 1
+    return store.get(key, 0)
+
+
+def _fanout_apply(hits: List[int], key: int) -> int:
+    """The scatter-gather shard sub-query (shared local/remote)."""
+    hits[key % len(hits)] += 1
+    return hits[key % len(hits)]
+
+
+def _serve_kv(am, packet) -> Generator:
+    """One key-value operation at its shard (primary or backup)."""
+    app = am.host.state["serve_app"]
+    key, write = packet.payload
+    value = _kv_apply(am.host.state["serve_store"], key, write)
+    app.metrics.on_served(am.node_id, app.service_us)
+    app.metrics.on_queue_sample(am.node_id, am.rx_pending)
+    if app.service_us > 0:
+        yield am.sim.timeout(app.service_us)
+    yield from am.reply(value)
+
+
+def _serve_fanout(am, packet) -> Generator:
+    """One scatter-gather sub-query at a shard."""
+    app = am.host.state["serve_app"]
+    value = _fanout_apply(am.host.state["serve_hits"], packet.payload)
+    app.metrics.on_served(am.node_id, app.service_us)
+    app.metrics.on_queue_sample(am.node_id, am.rx_pending)
+    if app.service_us > 0:
+        yield am.sim.timeout(app.service_us)
+    yield from am.reply(value)
+
+
+# ---------------------------------------------------------------------------
+# The scenario family.
+# ---------------------------------------------------------------------------
+
+class ServingApp(Application):
+    """Shared machinery of the open-system serving scenarios.
+
+    Subclasses provide the per-request dispatch (:meth:`_issue`), their
+    handlers, and per-rank shard state; this base owns the client
+    tier, the load balancer, the frontend loop, the saturation guard,
+    the queue sampler, and the :class:`ServingMetrics` instruments.
+
+    Constructor arguments are all stored as same-named attributes —
+    the convention :func:`~repro.harness.runcache.app_fingerprint`
+    turns into cache identity, so every knob here is automatically
+    part of the run key.
+    """
+
+    #: Open-system marker: analysis tiers that model only the closed
+    #: SPMD dependency graph (simcost) refuse these runs.
+    open_system = True
+
+    def __init__(self, offered_rps: float = 200_000.0,
+                 n_users: int = 100_000,
+                 duration_us: float = 20_000.0,
+                 max_requests: int = 2000,
+                 arrivals: str = "poisson",
+                 burst_ratio: float = 4.0,
+                 mean_burst_us: float = 500.0,
+                 mean_calm_us: float = 2000.0,
+                 user_skew: float = 2.0,
+                 write_ratio: float = 0.1,
+                 key_space: int = 4096,
+                 service_us: float = 4.0,
+                 load_balance: str = "round-robin",
+                 slo_us: float = 250.0,
+                 max_backlog: int = 2048,
+                 sample_every_us: float = 100.0) -> None:
+        if load_balance not in LOAD_BALANCE_POLICIES:
+            raise ValueError(
+                f"load_balance must be one of {LOAD_BALANCE_POLICIES}, "
+                f"got {load_balance!r}")
+        if arrivals not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrivals must be one of {ARRIVAL_PROCESSES}, "
+                f"got {arrivals!r}")
+        if service_us < 0:
+            raise ValueError(f"service_us must be >= 0, got {service_us}")
+        if slo_us <= 0:
+            raise ValueError(f"slo_us must be > 0, got {slo_us}")
+        if max_backlog < 1:
+            raise ValueError(
+                f"max_backlog must be >= 1, got {max_backlog}")
+        if sample_every_us < 0:
+            raise ValueError(
+                f"sample_every_us must be >= 0, got {sample_every_us}")
+        self.offered_rps = offered_rps
+        self.n_users = n_users
+        self.duration_us = duration_us
+        self.max_requests = max_requests
+        self.arrivals = arrivals
+        self.burst_ratio = burst_ratio
+        self.mean_burst_us = mean_burst_us
+        self.mean_calm_us = mean_calm_us
+        self.user_skew = user_skew
+        self.write_ratio = write_ratio
+        self.key_space = key_space
+        self.service_us = service_us
+        self.load_balance = load_balance
+        self.slo_us = slo_us
+        self.max_backlog = max_backlog
+        self.sample_every_us = sample_every_us
+
+    # -- configuration helpers ---------------------------------------------
+    def with_changes(self, **overrides: Any) -> "ServingApp":
+        """A copy of this scenario with some knobs replaced.
+
+        Works generically because constructor kwargs are stored as
+        same-named attributes (the fingerprint convention); the sweep
+        machinery uses it for the offered-load axis.
+        """
+        from repro.harness.runcache import constructor_params
+        kwargs: Dict[str, Any] = {}
+        for name in constructor_params(type(self)):
+            if hasattr(self, name):
+                kwargs[name] = getattr(self, name)
+        unknown = set(overrides) - set(kwargs)
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} has no knob(s) {sorted(unknown)}")
+        kwargs.update(overrides)
+        return type(self)(**kwargs)
+
+    def tier(self) -> ClientTier:
+        """The client-tier description for this scenario."""
+        return ClientTier(
+            n_users=self.n_users, offered_rps=self.offered_rps,
+            duration_us=self.duration_us, max_requests=self.max_requests,
+            arrivals=self.arrivals, burst_ratio=self.burst_ratio,
+            mean_burst_us=self.mean_burst_us,
+            mean_calm_us=self.mean_calm_us, user_skew=self.user_skew,
+            write_ratio=self.write_ratio, key_space=self.key_space)
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """This run's SLO instruments (valid after ``configure``)."""
+        return self._metrics
+
+    # -- Application lifecycle ---------------------------------------------
+    def configure(self, n_nodes: int, seed: int) -> None:
+        self._n_nodes = n_nodes
+        self._trace: List[Request] = self.tier().trace(seed)
+        self._metrics = ServingMetrics(n_nodes, slo_us=self.slo_us)
+        self._pending: List[deque] = [deque() for _ in range(n_nodes)]
+        self._ams: List[Any] = [None] * n_nodes
+        #: Frontend load = assigned − (completed + dropped), per rank.
+        self._assigned = [0] * n_nodes
+        self._finished_by = [0] * n_nodes
+        #: Requests in flight toward each serving node (the
+        #: least-loaded replica signal, and a live queue proxy).
+        self._server_inflight = [0] * n_nodes
+        self._injected = 0
+        self._completed = 0
+        self._dropped = 0
+        self._feed_done = False
+        self._aborted = False
+        self._lb_rng = random.Random(seed * 1_000_003 + 0x5E21E)
+        self._rr = 0
+        self._replica_rr = [0] * n_nodes
+
+    def setup_rank(self, proc) -> Generator:
+        self._ams[proc.rank] = proc.am
+        proc.state["serve_app"] = self
+        self._setup_shard(proc)
+        if proc.rank == 0:
+            # Piggyback the SLO instruments on ClusterStats so the
+            # cache/store serialization path carries them unchanged.
+            proc.stats.serving = self._metrics
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def run_rank(self, proc) -> Generator:
+        am = proc.am
+        pending = self._pending[proc.rank]
+        if proc.rank == 0:
+            proc.sim.process(self._client_tier(proc.sim),
+                             name="serve-clients")
+            if self.sample_every_us > 0:
+                proc.sim.process(self._queue_sampler(proc.sim),
+                                 name="serve-sampler")
+        while True:
+            yield from am.wait_until(
+                lambda: bool(pending) or self._finished())
+            if pending:
+                request, arrived = pending.popleft()
+                if self._aborted:
+                    self._account_drop(proc.rank)
+                    continue
+                yield from self._issue(proc, request, arrived)
+                continue
+            if self._finished():
+                return
+
+    def finalize(self, procs) -> ServingMetrics:
+        self._metrics.finish(procs[0].stats.runtime_us)
+        return self._metrics
+
+    # -- the client tier (outside the rank set) ----------------------------
+    def _client_tier(self, sim) -> Generator:
+        """Inject the arrival trace into frontend queues.
+
+        Runs as its own simulator process: arrivals cost the *cluster*
+        nothing until a frontend dispatches them (the client tier is
+        outside the rank set), but arrival time stamps start the
+        latency clock immediately, so frontend queueing is part of
+        every request's measured latency.
+        """
+        t0 = sim.now
+        n = len(self._ams)
+        for request in self._trace:
+            due = t0 + request.t_us
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            backlog = self._injected - self._completed - self._dropped
+            self._metrics.note_backlog(backlog)
+            if backlog > self.max_backlog:
+                # Queue growth detected: the cluster is not keeping up
+                # with the offered load.  Stop injecting and let the
+                # run drain to a structured "saturated" verdict.
+                self._aborted = True
+                self._metrics.note_saturation(sim.now - t0, backlog)
+                break
+            rank = self._pick_frontend(n)
+            self._injected += 1
+            self._assigned[rank] += 1
+            self._metrics.on_arrival(rank)
+            self._pending[rank].append((request, sim.now))
+            self._ams[rank].kick()
+        self._feed_done = True
+        self._kick_all()
+
+    def _pick_frontend(self, n: int) -> int:
+        if self.load_balance == "round-robin":
+            rank = self._rr % n
+            self._rr += 1
+            return rank
+        if self.load_balance == "random":
+            return self._lb_rng.randrange(n)
+        # least-loaded: live frontend depth, lowest rank wins ties.
+        loads = [self._assigned[rank] - self._finished_by[rank]
+                 for rank in range(n)]
+        chosen = min(range(n), key=lambda rank: (loads[rank], rank))
+        return chosen
+
+    def _queue_sampler(self, sim) -> Generator:
+        """Sample per-node queue depths on a fixed simulated cadence."""
+        while not self._finished():
+            yield sim.timeout(self.sample_every_us)
+            for rank, am in enumerate(self._ams):
+                depth = len(self._pending[rank]) + am.rx_pending
+                self._metrics.on_queue_sample(rank, depth)
+
+    # -- frontend bookkeeping ----------------------------------------------
+    def _finished(self) -> bool:
+        return (self._feed_done
+                and self._completed + self._dropped >= self._injected)
+
+    def _kick_all(self) -> None:
+        for am in self._ams:
+            if am is not None:
+                am.kick()
+
+    def _account_drop(self, rank: int) -> None:
+        self._dropped += 1
+        self._finished_by[rank] += 1
+        self._metrics.on_drop(rank)
+        if self._finished():
+            self._kick_all()
+
+    def _complete_request(self, rank: int, arrived: float, write: bool,
+                          sim) -> None:
+        self._completed += 1
+        self._finished_by[rank] += 1
+        self._metrics.on_complete(rank, sim.now - arrived, write=write)
+        if self._finished():
+            self._kick_all()
+
+    def _send(self, proc, target: int, handler: str, payload: Any,
+              on_done: Callable[[], None],
+              local_op: Callable[[Any], Any]) -> Generator:
+        """One sub-request with in-flight accounting.
+
+        Remote targets go split-phase over the AM layer; a target that
+        is the issuing frontend itself is served locally — the shard
+        operation runs in place and only the service time is charged
+        (packets to self never enter the network, matching the GAS
+        layer's local-operation rule).
+        """
+        self._server_inflight[target] += 1
+        if target == proc.rank:
+            local_op(proc)
+            self._metrics.on_served(proc.rank, self.service_us)
+            if self.service_us > 0:
+                yield proc.sim.timeout(self.service_us)
+            self._server_inflight[target] -= 1
+            on_done()
+            return
+
+        def _reply(_payload: Any) -> None:
+            self._server_inflight[target] -= 1
+            on_done()
+
+        yield from proc.am.send_request(target, handler, payload=payload,
+                                        on_reply=_reply)
+
+    # -- subclass contract --------------------------------------------------
+    def _setup_shard(self, proc) -> None:
+        """Install per-rank shard state in ``proc.state``."""
+        raise NotImplementedError
+
+    def _issue(self, proc, request: Request, arrived: float) -> Generator:
+        """Dispatch one client request split-phase; must eventually
+        call :meth:`_complete_request` exactly once."""
+        raise NotImplementedError
+
+
+class KVServe(ServingApp):
+    """Sharded key-value store with replication and LB policy knobs."""
+
+    name = "kvserve"
+
+    def __init__(self, replication: str = "none",
+                 read_anywhere: bool = True, **kwargs: Any) -> None:
+        if replication not in REPLICATION_POLICIES:
+            raise ValueError(
+                f"replication must be one of {REPLICATION_POLICIES}, "
+                f"got {replication!r}")
+        self.replication = replication
+        self.read_anywhere = read_anywhere
+        super().__init__(**kwargs)
+
+    @staticmethod
+    def _backup_of(primary: int, n: int) -> Optional[int]:
+        if n < 2:
+            return None
+        return (primary + 1) % n
+
+    def _setup_shard(self, proc) -> None:
+        proc.state["serve_store"] = {}
+
+    def _pick_replica(self, rank: int, primary: int, backup: int) -> int:
+        if self.load_balance == "round-robin":
+            self._replica_rr[rank] += 1
+            return primary if self._replica_rr[rank] % 2 else backup
+        if self.load_balance == "random":
+            return primary if self._lb_rng.random() < 0.5 else backup
+        # least-loaded: fewest requests in flight; primary wins ties.
+        if self._server_inflight[backup] < self._server_inflight[primary]:
+            return backup
+        return primary
+
+    def _issue(self, proc, request: Request, arrived: float) -> Generator:
+        rank = proc.rank
+        primary = request.key % proc.n_ranks
+        backup = self._backup_of(primary, proc.n_ranks)
+        replicated = self.replication == "primary-backup" \
+            and backup is not None
+        if request.write and replicated:
+            targets = [primary, backup]
+        elif (not request.write) and replicated and self.read_anywhere:
+            targets = [self._pick_replica(rank, primary, backup)]
+        else:
+            targets = [primary]
+        left = {"n": len(targets)}
+
+        def done() -> None:
+            left["n"] -= 1
+            if left["n"] == 0:
+                self._complete_request(rank, arrived, request.write,
+                                       proc.sim)
+
+        def local_op(p) -> Any:
+            return _kv_apply(p.state["serve_store"], request.key,
+                             request.write)
+
+        for target in targets:
+            yield from self._send(proc, target, "serve_kv",
+                                  (request.key, request.write), done,
+                                  local_op)
+
+    def register_handlers(self, table) -> None:
+        table.register("serve_kv", _serve_kv)
+
+
+class FanoutServe(ServingApp):
+    """Scatter-gather RPC service: every request queries ``fanout``
+    shards and completes on the last reply (tail amplification)."""
+
+    name = "fanout"
+
+    def __init__(self, fanout: int = 4, **kwargs: Any) -> None:
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.fanout = fanout
+        super().__init__(**kwargs)
+
+    def _setup_shard(self, proc) -> None:
+        proc.state["serve_hits"] = [0] * max(1, self.key_space)
+
+    def _issue(self, proc, request: Request, arrived: float) -> Generator:
+        rank = proc.rank
+        k = min(self.fanout, proc.n_ranks)
+        base = request.key % proc.n_ranks
+        targets = [(base + i) % proc.n_ranks for i in range(k)]
+        left = {"n": k}
+
+        def done() -> None:
+            left["n"] -= 1
+            if left["n"] == 0:
+                self._complete_request(rank, arrived, request.write,
+                                       proc.sim)
+
+        def local_op(p) -> Any:
+            return _fanout_apply(p.state["serve_hits"], request.key)
+
+        for target in targets:
+            yield from self._send(proc, target, "serve_fanout",
+                                  request.key, done, local_op)
+
+    def register_handlers(self, table) -> None:
+        table.register("serve_fanout", _serve_fanout)
+
+
+#: Workload-spec registry (``CampaignSpec.workload["app"]`` values).
+SERVING_APPS = {
+    KVServe.name: KVServe,
+    FanoutServe.name: FanoutServe,
+}
+
+
+def serving_app_from_dict(data: Dict[str, Any]) -> ServingApp:
+    """Build a serving scenario from a JSON workload dict.
+
+    ``data["app"]`` names the scenario (one of :data:`SERVING_APPS`);
+    every other key is a constructor knob.  This is the factory behind
+    ``CampaignSpec.workload``.
+    """
+    spec = dict(data)
+    kind = spec.pop("app", None)
+    if kind not in SERVING_APPS:
+        raise ValueError(
+            f"workload 'app' must be one of {sorted(SERVING_APPS)}, "
+            f"got {kind!r}")
+    return SERVING_APPS[kind](**spec)

@@ -1,0 +1,184 @@
+"""The simulated client tier: open arrivals from outside the rank set.
+
+Production traffic is an *open system*: requests arrive whether or not
+the cluster is keeping up, so a microsecond of overhead becomes
+queueing delay and a tail-latency violation rather than a slowdown
+factor.  This module generates that traffic deterministically.
+
+The scalability trick is **aggregation**: a population of ``n_users``
+independent thin clients, each issuing at rate λ, superposes to a
+single Poisson process at rate ``n_users * λ`` — so one seeded stream
+stands in for millions of simulated users at a cost proportional to
+the *request count*, not the user count.  Each request still carries a
+concrete user id drawn from a skewed popularity distribution, so
+sharding and hot-key behaviour see the full population.  The bursty
+process is a two-state MMPP (Markov-modulated Poisson): dwell times in
+a calm and a burst state are exponential, and within each state
+arrivals are Poisson at that state's rate, with the state rates chosen
+so the *time-averaged* rate still equals the configured offered load.
+
+Determinism contract: ``ClientTier.trace(seed)`` is a pure function of
+(tier parameters, seed) — same seed ⇒ bit-identical trace, different
+seed ⇒ different trace — which is what lets serving runs share the
+RunCache/ResultStore machinery by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, NamedTuple
+
+__all__ = ["Request", "ClientTier", "ARRIVAL_PROCESSES"]
+
+#: Supported arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+#: Knuth's multiplicative hash constant; spreads consecutive user ids
+#: across the key space while keeping key popularity tied to user
+#: popularity (hot users ⇒ hot keys).
+_KEY_HASH = 2654435761
+
+
+class Request(NamedTuple):
+    """One client request: arrival offset and what it asks for."""
+
+    #: Arrival time, simulated µs relative to the start of the trace.
+    t_us: float
+    #: Issuing user id in ``[0, n_users)``.
+    user: int
+    #: Target key in ``[0, key_space)``.
+    key: int
+    #: Write (True) or read (False).
+    write: bool
+
+
+@dataclass(frozen=True)
+class ClientTier:
+    """A seeded population of simulated users and its arrival process.
+
+    ``offered_rps`` is the aggregate offered load (requests per second
+    of *simulated* time) across the whole population; ``n_users`` only
+    shapes the identity distribution, never the generation cost.  The
+    trace ends at ``duration_us`` or after ``max_requests`` arrivals,
+    whichever comes first — a finite trace is what guarantees serving
+    runs terminate even when the cluster cannot keep up.
+    """
+
+    n_users: int
+    offered_rps: float
+    duration_us: float
+    max_requests: int
+    arrivals: str = "poisson"
+    #: Bursty (MMPP) shape: burst-state rate multiplier and the mean
+    #: exponential dwell times of the two states.
+    burst_ratio: float = 4.0
+    mean_burst_us: float = 500.0
+    mean_calm_us: float = 2000.0
+    #: Popularity skew: user ``u`` is drawn as
+    #: ``int(n_users * uniform() ** user_skew)`` — 1.0 is uniform,
+    #: larger values concentrate traffic on low user ids.
+    user_skew: float = 2.0
+    write_ratio: float = 0.1
+    key_space: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if self.offered_rps <= 0:
+            raise ValueError(
+                f"offered_rps must be > 0, got {self.offered_rps}")
+        if self.duration_us <= 0:
+            raise ValueError(
+                f"duration_us must be > 0, got {self.duration_us}")
+        if self.max_requests < 1:
+            raise ValueError(
+                f"max_requests must be >= 1, got {self.max_requests}")
+        if self.arrivals not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrivals must be one of {ARRIVAL_PROCESSES}, "
+                f"got {self.arrivals!r}")
+        if self.burst_ratio < 1.0:
+            raise ValueError(
+                f"burst_ratio must be >= 1, got {self.burst_ratio}")
+        if self.mean_burst_us <= 0 or self.mean_calm_us <= 0:
+            raise ValueError("MMPP dwell times must be > 0")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError(
+                f"write_ratio must be in [0, 1], got {self.write_ratio}")
+        if self.key_space < 1:
+            raise ValueError(
+                f"key_space must be >= 1, got {self.key_space}")
+        if self.user_skew < 1.0:
+            raise ValueError(
+                f"user_skew must be >= 1, got {self.user_skew}")
+
+    # -- generation ---------------------------------------------------------
+    def _sample_request(self, rng: random.Random, t_us: float) -> Request:
+        user = min(self.n_users - 1,
+                   int(self.n_users * rng.random() ** self.user_skew))
+        key = (user * _KEY_HASH + 97) % self.key_space
+        write = rng.random() < self.write_ratio
+        return Request(t_us=t_us, user=user, key=key, write=write)
+
+    def trace(self, seed: int) -> List[Request]:
+        """The full arrival trace for one run, sorted by arrival time."""
+        rng = random.Random(seed * 1_000_003 + 0xC11E47)
+        if self.arrivals == "poisson":
+            return self._poisson_trace(rng)
+        return self._bursty_trace(rng)
+
+    def _poisson_trace(self, rng: random.Random) -> List[Request]:
+        rate_per_us = self.offered_rps / 1e6
+        out: List[Request] = []
+        t_us = 0.0
+        while len(out) < self.max_requests:
+            t_us += rng.expovariate(rate_per_us)
+            if t_us > self.duration_us:
+                break
+            out.append(self._sample_request(rng, t_us))
+        return out
+
+    def _bursty_trace(self, rng: random.Random) -> List[Request]:
+        """Two-state MMPP with the configured time-averaged rate.
+
+        The calm-state rate is solved so that, weighted by the mean
+        dwell fractions, the long-run rate equals ``offered_rps``; the
+        burst state runs ``burst_ratio`` times hotter.  Within a state
+        arrivals are Poisson, so redrawing the interarrival at a state
+        boundary is exact (memorylessness), not an approximation.
+        """
+        burst_fraction = self.mean_burst_us / (self.mean_burst_us
+                                               + self.mean_calm_us)
+        calm_rate = (self.offered_rps / 1e6) / (
+            (1.0 - burst_fraction) + self.burst_ratio * burst_fraction)
+        rates = {"calm": calm_rate, "burst": calm_rate * self.burst_ratio}
+        dwells = {"calm": self.mean_calm_us, "burst": self.mean_burst_us}
+        flip = {"calm": "burst", "burst": "calm"}
+
+        out: List[Request] = []
+        state = "calm"
+        t_us = 0.0
+        state_end = rng.expovariate(1.0 / dwells[state])
+        while len(out) < self.max_requests:
+            arrival = t_us + rng.expovariate(rates[state])
+            if arrival > state_end:
+                # The state flipped before this draw would have landed;
+                # restart from the boundary in the new state.
+                t_us = state_end
+                state = flip[state]
+                state_end = t_us + rng.expovariate(1.0 / dwells[state])
+                if t_us > self.duration_us:
+                    break
+                continue
+            t_us = arrival
+            if t_us > self.duration_us:
+                break
+            out.append(self._sample_request(rng, t_us))
+        return out
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (f"{self.arrivals} arrivals, {self.n_users} users, "
+                f"{self.offered_rps:g} req/s offered, "
+                f"{self.duration_us:g}us window")

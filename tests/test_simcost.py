@@ -189,6 +189,19 @@ def test_record_refuses_faulty_and_nonflat_fabrics():
             small_radix(), recorder=DepRecorder())
 
 
+def test_record_refuses_open_system_apps():
+    """Open-system serving has no closed SPMD dependency DAG to
+    replay: arrivals come from outside the rank set, so both recording
+    entry points refuse with the honest simcost error."""
+    from repro.serve import KVServe
+    app = KVServe(offered_rps=50_000.0, n_users=100,
+                  duration_us=1_000.0, max_requests=10)
+    with pytest.raises(UnsupportedGraphError, match="open-system"):
+        record_run(app, 2, seed=0)
+    with pytest.raises(UnsupportedGraphError, match="open-system"):
+        Cluster(n_nodes=2, seed=0).run(app, recorder=DepRecorder())
+
+
 def test_recorder_is_single_use(radix_graph):
     recorder = DepRecorder()
     Cluster(n_nodes=4, seed=7).run(small_radix(), recorder=recorder)
